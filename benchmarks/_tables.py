@@ -1,0 +1,40 @@
+"""Shared table rendering for the experiment benchmarks.
+
+Every benchmark builds a list of dict rows; :func:`print_table` renders
+them in the aligned form EXPERIMENTS.md quotes.  Benchmarks are runnable
+two ways: ``pytest benchmarks/ --benchmark-only`` (timed, assertions
+checked) and ``python benchmarks/bench_*.py`` (prints the table).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def print_table(title: str, rows: list[dict],
+                columns: Optional[list[str]] = None) -> None:
+    """Render rows as an aligned text table."""
+    print(f"\n{title}")
+    if not rows:
+        print("  (no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: max(len(str(col)),
+                       *(len(_fmt(row.get(col))) for row in rows))
+              for col in columns}
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    print("  " + header)
+    print("  " + "-" * len(header))
+    for row in rows:
+        line = "  ".join(_fmt(row.get(col)).ljust(widths[col])
+                         for col in columns)
+        print("  " + line)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)

@@ -1,0 +1,101 @@
+"""Ablation A1 — TDMA guard times vs clock precision.
+
+Design choice under test: time-triggered slot isolation (E3, E6) assumes
+every node starts transmitting inside its own slot.  That holds only if
+the guard time around each slot exceeds the cluster *precision* — the
+worst pairwise clock deviation accumulated between resynchronizations
+(:func:`repro.sim.clock.precision`).
+
+Setup: 6 nodes with symmetric crystal drifts transmit in consecutive
+slots (300 us slot, of which ``guard`` is idle margin at each end).
+Between resyncs (every 10 rounds) each node's local clock drifts; a node
+whose local slot start strays into a neighbour's transmission window
+collides.  We sweep drift and compare the *analytic* verdict
+(precision <= guard) against the simulated collision count.
+
+Expected shape: zero collisions exactly while the analytic condition
+holds; collisions appear once drift pushes precision past the guard —
+the analysis is a safe and tight design rule for guard sizing.
+"""
+
+from _tables import print_table
+
+from repro.sim.clock import DriftingClock, precision
+from repro.units import us
+
+N_NODES = 6
+SLOT = us(300)
+GUARD = us(6)  # idle margin at each slot end
+ROUNDS_PER_RESYNC = 10
+RESYNCS = 20
+DRIFTS_PPM = [10, 50, 100, 200, 400, 800]
+
+
+def simulate_collisions(drift_ppm: float) -> int:
+    """Count slot overlaps across RESYNCS resynchronization intervals."""
+    # Alternating fast/slow crystals: worst pairwise divergence.
+    clocks = [DriftingClock(drift_ppm if i % 2 == 0 else -drift_ppm)
+              for i in range(N_NODES)]
+    round_length = N_NODES * SLOT
+    collisions = 0
+    for resync in range(RESYNCS):
+        base = resync * ROUNDS_PER_RESYNC * round_length
+        for clock in clocks:
+            clock.resynchronize(base)
+        for round_index in range(ROUNDS_PER_RESYNC):
+            start_of_round = base + round_index * round_length
+            windows = []
+            for node, clock in enumerate(clocks):
+                nominal = start_of_round + node * SLOT + GUARD
+                error = clock.local_time(nominal) - nominal
+                tx_start = nominal + error
+                tx_end = tx_start + SLOT - 2 * GUARD
+                windows.append((tx_start, tx_end))
+            for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+                if e1 > s2:
+                    collisions += 1
+    return collisions
+
+
+def run() -> list[dict]:
+    resync_interval = ROUNDS_PER_RESYNC * N_NODES * SLOT
+    rows = []
+    for drift in DRIFTS_PPM:
+        clocks = [DriftingClock(drift if i % 2 == 0 else -drift)
+                  for i in range(N_NODES)]
+        analytic = precision(clocks, resync_interval)
+        rows.append({
+            "drift_ppm": drift,
+            "precision_us": analytic / us(1),
+            "guard_us": 2 * GUARD / us(1),
+            "analytic_safe": analytic <= 2 * GUARD,
+            "simulated_collisions": simulate_collisions(drift),
+        })
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    for row in rows:
+        if row["analytic_safe"]:
+            assert row["simulated_collisions"] == 0, row
+    # The sweep must cross the boundary: safe cases and unsafe cases.
+    assert any(r["analytic_safe"] for r in rows)
+    unsafe = [r for r in rows if not r["analytic_safe"]]
+    assert unsafe and unsafe[-1]["simulated_collisions"] > 0, \
+        "large drift must eventually produce collisions"
+
+
+TITLE = ("A1 (ablation): slot collisions vs clock drift — guard-time "
+         "design rule")
+
+
+def bench_a1_clock_precision(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

@@ -1,0 +1,146 @@
+"""Ablation A5 — is the prior-to-implementation report trustworthy?
+
+The timing report (:func:`repro.analysis.system_report.timing_report`)
+is only useful if its predictions, made from the bare system model,
+survive contact with the built system.  This benchmark generates seeded
+random deployments (2-4 ECUs, 2-5 producer->consumer chains plus hog
+tasks, one CAN bus), runs the report, then builds and simulates each
+system with probes on every chain.
+
+Expected shape: **zero** bound violations across all trials and chains;
+median tightness in the low single digits (useful, not vacuous); every
+generated system analysable.
+"""
+
+import random
+
+from _tables import print_table
+
+from repro.analysis import ChainProbe, timing_report
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+SEED = 20080310  # DATE 2008
+TRIALS = 12
+HORIZON = ms(2000)
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+PERIODS_MS = [10, 20, 50]
+
+
+def random_system(rng, probes):
+    n_ecus = rng.randint(2, 4)
+    n_chains = rng.randint(2, 5)
+    app = Composition("Rand")
+    system = SystemModel("rand")
+    for index in range(n_ecus):
+        system.add_ecu(f"E{index}")
+    for chain in range(n_chains):
+        period = ms(rng.choice(PERIODS_MS))
+        producer = SwComponent(f"P{chain}")
+        producer.provide("out", DATA_IF)
+
+        def produce(ctx, chain=chain):
+            ctx.state["n"] = ctx.state.get("n", 0) + 1
+            seq = ctx.state["n"] % 65536
+            probes[chain].stamp(seq, ctx.now)
+            ctx.write("out", "v", seq)
+
+        producer.runnable("tick", TimingEvent(period), produce,
+                          wcet=us(rng.randint(100, 800)),
+                          writes=[("out", "v")])
+        consumer = SwComponent(f"C{chain}")
+        consumer.require("in", DATA_IF)
+
+        def consume(ctx, chain=chain):
+            probes[chain].observe(ctx.read("in", "v"), ctx.now)
+
+        consumer.runnable("sink", DataReceivedEvent("in", "v"), consume,
+                          wcet=us(rng.randint(100, 900)))
+        app.add(producer.instantiate(f"p{chain}"))
+        app.add(consumer.instantiate(f"c{chain}"))
+        app.connect(f"p{chain}", "out", f"c{chain}", "in")
+        src = rng.randrange(n_ecus)
+        dst = (src + rng.randint(1, n_ecus - 1)) % n_ecus
+        system.map(f"p{chain}", f"E{src}")
+        system.map(f"c{chain}", f"E{dst}")
+    # One hog per ECU, moderate utilization.
+    for index in range(n_ecus):
+        hog = SwComponent(f"H{index}")
+        hog.provide("out", DATA_IF)
+        hog_period = ms(rng.choice([5, 8, 10]))
+        hog.runnable("burn", TimingEvent(hog_period), lambda ctx: None,
+                     wcet=round(hog_period * rng.uniform(0.1, 0.3)))
+        app.add(hog.instantiate(f"h{index}"))
+        system.map(f"h{index}", f"E{index}")
+    system.set_root(app)
+    system.configure_bus("can", bitrate_bps=500_000)
+    return system, n_chains
+
+
+def run() -> list[dict]:
+    rng = random.Random(SEED)
+    rows = []
+    violations = 0
+    tightnesses = []
+    chains_checked = 0
+    unschedulable = 0
+    for trial in range(TRIALS):
+        probes = {}
+        for chain in range(6):
+            probes[chain] = ChainProbe(f"chain{chain}")
+        system, n_chains = random_system(rng, probes)
+        report = timing_report(system)
+        assert report.analysable, report.issues
+        if not report.schedulable:
+            unschedulable += 1
+            continue
+        sim = Simulator()
+        system.build(sim)
+        sim.run_until(HORIZON)
+        for chain in range(n_chains):
+            probe = probes[chain]
+            chain_name = (f"p{chain}.tick -> p{chain}.out -> "
+                          f"c{chain}.sink")
+            bound = report.chain_latency[chain_name]
+            if not probe.latencies:
+                continue
+            chains_checked += 1
+            if probe.worst > bound:
+                violations += 1
+            tightnesses.append(bound / probe.worst)
+    tightnesses.sort()
+    rows.append({
+        "trials": TRIALS,
+        "unschedulable_designs": unschedulable,
+        "chains_checked": chains_checked,
+        "bound_violations": violations,
+        "median_tightness": tightnesses[len(tightnesses) // 2],
+        "max_tightness": max(tightnesses),
+    })
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    row = rows[0]
+    assert row["bound_violations"] == 0, "the report must be safe"
+    assert row["chains_checked"] >= 20
+    assert row["median_tightness"] < 6.0, "bounds should stay useful"
+
+
+TITLE = ("A5 (ablation): prior-to-implementation report vs deployed "
+         "reality, seeded random systems")
+
+
+def bench_a5_report_validation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

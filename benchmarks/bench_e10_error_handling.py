@@ -1,0 +1,161 @@
+"""E10 — Error handling use cases: broken sensor, communication error,
+memory failure.
+
+Claim (paper, Section 2): AUTOSAR's consistent error handling "supports
+effective communication to application layer functionality and can also
+be used as a means for mode management and diagnostic purposes.  Use
+cases include broken sensors, communication errors and memory failures."
+
+Setup: one ECU runs the full chain — monitors report to the error
+manager (debounce 3), confirmed errors trigger degraded modes and land in
+diagnostic memory.  We inject all three use-case faults and measure
+detection latency (fault injection to DEM confirmation), the mode
+reaction, and the diagnostic record.
+
+Expected shape: every fault detected within its monitor period x
+debounce threshold; exactly one mode degradation per confirmed fault
+class; all three DTCs readable and clearable over the diagnostic service.
+"""
+
+from _tables import print_table
+
+from repro.bsw import (CLEAR_DTC, DiagnosticServer, ErrorEvent,
+                       ErrorManager, FAILED, ModeMachine, NvramManager,
+                       PASSED, READ_DTC)
+from repro.com import (CanComAdapter, ComStack, PERIODIC, SignalSpec,
+                       pack_sequentially)
+from repro.network import CanBus, CanFrameSpec
+from repro.sim import Simulator
+from repro.units import ms
+
+MONITOR_PERIOD = ms(5)
+THRESHOLD = 3
+FAULTS = {
+    "sensor_stuck": {"dtc": 0x1111, "inject_at": ms(50)},
+    "com_timeout": {"dtc": 0x2222, "inject_at": ms(100)},
+    "nvram_corrupt": {"dtc": 0x3333, "inject_at": ms(150)},
+}
+
+
+def run() -> list[dict]:
+    sim = Simulator()
+    dem = ErrorManager("BodyECU", now=lambda: sim.now)
+    for name, config in FAULTS.items():
+        dem.register(ErrorEvent(name, dtc=config["dtc"],
+                                threshold=THRESHOLD))
+    modes = ModeMachine("body", ["normal", "degraded"], "normal")
+    modes.allow("normal", "degraded")
+    modes.allow("degraded", "normal")
+    modes.bind_clock(lambda: sim.now)
+    confirmations: dict[str, int] = {}
+
+    def on_change(event, confirmed):
+        if confirmed:
+            confirmations.setdefault(event.name, sim.now)
+            modes.request("degraded")
+
+    dem.on_status_change(on_change)
+    diag = DiagnosticServer(dem)
+
+    # --- use case 1: broken sensor (plausibility monitor) -------------
+    def sensor_monitor():
+        broken = sim.now >= FAULTS["sensor_stuck"]["inject_at"]
+        dem.report("sensor_stuck", FAILED if broken else PASSED,
+                   context={"raw": 0 if broken else 42})
+        sim.schedule(MONITOR_PERIOD, sensor_monitor)
+
+    sensor_monitor()
+
+    # --- use case 2: communication error (COM rx deadline) ------------
+    bus = CanBus(sim, 500_000)
+    pdu = pack_sequentially("P", 8, [SignalSpec("speed", 16,
+                                                timeout=ms(12))])
+    tx = ComStack(sim, CanComAdapter(
+        bus.attach("TX"), {"P": CanFrameSpec("P", 0x100)}), "TX")
+    rx = ComStack(sim, CanComAdapter(bus.attach("BodyECU"), {}),
+                  "BodyECU")
+    tx.add_tx_pdu(pack_sequentially("P", 8, [SignalSpec(
+        "speed", 16, timeout=ms(12))]), mode=PERIODIC, period=ms(5))
+    rx.add_rx_pdu(pdu)
+
+    def com_monitor():
+        timed_out = "speed" in rx.timed_out
+        dem.report("com_timeout", FAILED if timed_out else PASSED)
+        sim.schedule(MONITOR_PERIOD, com_monitor)
+
+    com_monitor()
+    sim.schedule(FAULTS["com_timeout"]["inject_at"],
+                 bus.controllers["TX"].set_bus_off)
+
+    # --- use case 3: memory failure (NVRAM CRC) ------------------------
+    nv = NvramManager("BodyECU",
+                      on_failure=lambda block, outcome:
+                      dem.report("nvram_corrupt", FAILED))
+    nv.define("calibration", 16)
+    nv.write("calibration", b"CALDATA")
+    sim.schedule(FAULTS["nvram_corrupt"]["inject_at"],
+                 lambda: nv.block("calibration").corrupt(offset=2))
+
+    def nvram_monitor():
+        data = nv.read("calibration")  # CRC checked on every read
+        # After a loss the block holds defaults, which the application
+        # detects as missing calibration — a persistent failure.
+        dem.report("nvram_corrupt",
+                   PASSED if data[:7] == b"CALDATA" else FAILED)
+        sim.schedule(MONITOR_PERIOD, nvram_monitor)
+
+    nvram_monitor()
+
+    sim.run_until(ms(300))
+
+    rows = []
+    for name, config in FAULTS.items():
+        confirmed_at = confirmations.get(name)
+        rows.append({
+            "fault": name,
+            "dtc": hex(config["dtc"]),
+            "injected_ms": config["inject_at"] / ms(1),
+            "confirmed_ms": (confirmed_at / ms(1)
+                             if confirmed_at is not None else None),
+            "detection_ms": ((confirmed_at - config["inject_at"]) / ms(1)
+                             if confirmed_at is not None else None),
+        })
+    stored = diag.handle(READ_DTC)["dtcs"]
+    cleared = diag.handle(CLEAR_DTC)["cleared"]
+    rows.append({"fault": "diagnostics", "dtc": f"{len(stored)} stored",
+                 "injected_ms": None, "confirmed_ms": None,
+                 "detection_ms": float(cleared)})
+    rows.append({"fault": "mode", "dtc": modes.current,
+                 "injected_ms": None, "confirmed_ms": None,
+                 "detection_ms": None})
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    fault_rows = [r for r in rows if r["fault"] in FAULTS]
+    assert len(fault_rows) == 3
+    worst_allowed = (THRESHOLD + 3) * MONITOR_PERIOD / ms(1)
+    for row in fault_rows:
+        assert row["confirmed_ms"] is not None, f"{row['fault']} missed"
+        assert 0 < row["detection_ms"] <= worst_allowed, row
+    diag_row = next(r for r in rows if r["fault"] == "diagnostics")
+    assert diag_row["dtc"] == "3 stored"
+    assert diag_row["detection_ms"] == 3.0  # all three cleared
+    mode_row = next(r for r in rows if r["fault"] == "mode")
+    assert mode_row["dtc"] == "degraded"
+
+
+TITLE = ("E10: detection latency and reactions for the three "
+         "error-handling use cases")
+
+
+def bench_e10_error_handling(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

@@ -1,0 +1,150 @@
+"""E1 — Composability under integration.
+
+Claim (paper, Section 1): "The timing of software tasks depends on the
+presence or absence of other tasks" under priority scheduling, so
+plug-and-play integration breaks timing; "timing isolation or resource
+reservation policies" can prevent that variability — at a cost.
+
+Setup: an ECU runs three supplier tasks.  A fourth supplier's task is
+integrated in two variants: *well-behaved* (2 ms every 5 ms, as declared)
+and *misbehaving* (demands ~100% CPU).  For each policy we report the
+worst response-time shift the existing tasks suffer.
+
+Expected shape:
+
+* fixed priority — a shift for the well-behaved newcomer that *explodes*
+  when the newcomer misbehaves (unbounded exposure);
+* strict TDMA (window pre-reserved for the newcomer) — zero shift in
+  both variants (isolation);
+* deferrable-server reservation — a bounded shift that is *identical*
+  for the two variants: exposure is capped by the declared budget, not
+  by the newcomer's actual behaviour.
+"""
+
+from _tables import print_table
+
+from repro.osek import (DeferrableServerScheduler, EcuKernel,
+                        FixedPriorityScheduler, ServerSpec, TaskSpec,
+                        TdmaScheduler, Window)
+from repro.sim import Simulator
+from repro.units import ms
+
+HORIZON = ms(1000)
+
+EXISTING = [
+    ("brakes", ms(2), ms(10), 3, "P1"),
+    ("steering", ms(3), ms(20), 2, "P2"),
+    ("suspension", ms(5), ms(50), 1, "P3"),
+]
+#: newcomer (name, declared wcet, period, fp priority, partition).
+NEWCOMER = ("newcomer", ms(2), ms(5), 4, "P4")
+SCENARIOS = ("absent", "well-behaved", "misbehaving")
+
+
+def _fp_scheduler():
+    return FixedPriorityScheduler()
+
+
+def _tdma_scheduler():
+    # Four windows planned up front; P4 reserved for future integration.
+    return TdmaScheduler(
+        [Window(0, ms(1), "P4"), Window(ms(1), ms(1), "P1"),
+         Window(ms(2), ms(1), "P2"), Window(ms(3), ms(2), "P3")],
+        major_frame=ms(5))
+
+
+def _server_scheduler():
+    return DeferrableServerScheduler([
+        ServerSpec("P1", budget=ms(2), period=ms(10), priority=30),
+        ServerSpec("P2", budget=ms(3), period=ms(20), priority=20),
+        ServerSpec("P3", budget=ms(5), period=ms(50), priority=10),
+        ServerSpec("P4", budget=ms(2), period=ms(5), priority=40),
+    ])
+
+
+POLICIES = [
+    ("fixed-priority", _fp_scheduler),
+    ("tdma", _tdma_scheduler),
+    ("reservation", _server_scheduler),
+]
+
+
+def _run(policy_factory, scenario: str) -> dict[str, int]:
+    sim = Simulator()
+    kernel = EcuKernel(sim, policy_factory())
+    for name, wcet, period, priority, partition in EXISTING:
+        kernel.add_task(TaskSpec(name, wcet=wcet, period=period,
+                                 priority=priority, partition=partition,
+                                 deadline=ms(1000)))
+    if scenario != "absent":
+        name, wcet, period, priority, partition = NEWCOMER
+        demand = wcet if scenario == "well-behaved" else period
+        kernel.add_task(TaskSpec(name, wcet=period, period=period,
+                                 priority=priority, partition=partition,
+                                 deadline=ms(1000), max_activations=4),
+                        execution_time=lambda d=demand: d)
+    sim.run_until(HORIZON)
+    out = {}
+    for name, *_ in EXISTING:
+        worst = max(kernel.response_times(name), default=0)
+        # A starved task never completes: count the age of its oldest
+        # unfinished job so starvation reads as a huge response, not 0.
+        pending = kernel.tasks[name].pending_jobs
+        if pending:
+            oldest = min(job.activation_time for job in pending)
+            worst = max(worst, HORIZON - oldest)
+        out[name] = worst
+    return out
+
+
+def run() -> list[dict]:
+    rows = []
+    for policy_name, factory in POLICIES:
+        baseline = _run(factory, "absent")
+        for scenario in SCENARIOS[1:]:
+            loaded = _run(factory, scenario)
+            worst_shift = max(loaded[name] - baseline[name]
+                              for name, *_ in EXISTING)
+            rows.append({
+                "policy": policy_name,
+                "newcomer": scenario,
+                "worst_existing_wcrt_ms": max(loaded.values()) / ms(1),
+                "worst_shift_ms": worst_shift / ms(1),
+            })
+    return rows
+
+
+def _shift(rows, policy, scenario):
+    return next(r["worst_shift_ms"] for r in rows
+                if r["policy"] == policy and r["newcomer"] == scenario)
+
+
+def check(rows: list[dict]) -> None:
+    # FP: visible shift when well-behaved, much larger when misbehaving.
+    assert _shift(rows, "fixed-priority", "well-behaved") > 0
+    assert _shift(rows, "fixed-priority", "misbehaving") > \
+        5 * _shift(rows, "fixed-priority", "well-behaved")
+    # TDMA: zero shift in both variants.
+    assert _shift(rows, "tdma", "well-behaved") == 0
+    assert _shift(rows, "tdma", "misbehaving") == 0
+    # Reservation: bounded, behaviour-independent shift.
+    reservation_good = _shift(rows, "reservation", "well-behaved")
+    reservation_bad = _shift(rows, "reservation", "misbehaving")
+    assert reservation_bad == reservation_good
+    assert reservation_bad < _shift(rows, "fixed-priority", "misbehaving")
+
+
+TITLE = ("E1: worst response-time shift of existing tasks when a new "
+         "supplier task is integrated")
+
+
+def bench_e1_composability(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

@@ -1,0 +1,200 @@
+"""E4 — End-to-end latency: analytic bounds vs simulation.
+
+Claim (paper, Section 3): rich-component methodology must "allow to
+assess realizability of end-to-end latencies at system level … based on
+distributed real-time schedulability analysis for FlexRay- and CAN
+bus-based target architectures".
+
+Setup: a sensor -> controller -> actuator chain deployed on three ECUs.
+The sensor samples every 10 ms; data crosses the bus twice (direct
+transmission).  A fourth ECU optionally injects higher-priority bus load.
+For CAN and FlexRay, with and without load, we compare the analytic
+end-to-end bound (task RTA + CAN message RTA / FlexRay slot bound,
+composed by :class:`repro.analysis.e2e.Chain`) with the worst latency
+observed in simulation, measured from the sensor's output write to the
+actuator's execution.
+
+Expected shape: the bound always holds; on CAN the observed latency grows
+with load while the FlexRay static-slot latency is load-independent.
+"""
+
+from _tables import print_table
+
+from repro.analysis import Chain, Stage, can_rta, flexray_rta
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.network import CanFrameSpec, FlexRayConfig, StaticSlotAssignment
+from repro.sim import Simulator
+from repro.units import ms, us
+
+DATA_IF = SenderReceiverInterface("data_if", {"v": UINT16})
+SENSOR_PERIOD = ms(10)
+LOAD_PERIOD = ms(2)
+HORIZON = ms(500)
+CTRL_WCET = us(400)
+ACT_WCET = us(300)
+#: pinned CAN identifiers (load wins arbitration).
+IDS = {"load.out": 0x050, "sensor.out": 0x200, "ctrl.out": 0x210}
+
+
+def build_system(bus_kind: str, with_load: bool, probe: dict):
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", DATA_IF)
+
+    def sample(ctx):
+        ctx.state.setdefault("seq", 0)
+        ctx.state["seq"] = (ctx.state["seq"] + 1) % 65536
+        probe["writes"][ctx.state["seq"]] = ctx.now
+        ctx.write("out", "v", ctx.state["seq"])
+
+    sensor.runnable("sample", TimingEvent(SENSOR_PERIOD), sample,
+                    wcet=us(200))
+
+    ctrl = SwComponent("Controller")
+    ctrl.require("in", DATA_IF)
+    ctrl.provide("out", DATA_IF)
+    ctrl.runnable("control", DataReceivedEvent("in", "v"),
+                  lambda ctx: ctx.write("out", "v", ctx.read("in", "v")),
+                  wcet=CTRL_WCET)
+
+    act = SwComponent("Actuator")
+    act.require("in", DATA_IF)
+
+    def apply(ctx):
+        seq = ctx.read("in", "v")
+        write_time = probe["writes"].get(seq)
+        if write_time is not None:
+            probe["latencies"].append(ctx.now - write_time)
+
+    act.runnable("apply", DataReceivedEvent("in", "v"), apply,
+                 wcet=ACT_WCET)
+
+    app = Composition("ChainApp")
+    app.add(sensor.instantiate("sensor"))
+    app.add(ctrl.instantiate("ctrl"))
+    app.add(act.instantiate("act"))
+    app.connect("sensor", "out", "ctrl", "in")
+    app.connect("ctrl", "out", "act", "in")
+
+    system = SystemModel(f"chain-{bus_kind}")
+    for ecu in ("E1", "E2", "E3", "E4"):
+        system.add_ecu(ecu)
+    mapping = {"sensor": "E1", "ctrl": "E2", "act": "E3"}
+
+    # The load components are always present so both cases share the
+    # identical bus configuration (same CAN ids, same FlexRay slot
+    # table); "no load" just delays the pump past the horizon.
+    load_src = SwComponent("LoadSource")
+    load_src.provide("out", DATA_IF)
+
+    def pump(ctx):
+        ctx.state["n"] = (ctx.state.get("n", 0) + 1) % 65536
+        ctx.write("out", "v", ctx.state["n"])
+
+    pump_offset = 0 if with_load else HORIZON + ms(100)
+    load_src.runnable("pump", TimingEvent(LOAD_PERIOD, offset=pump_offset),
+                      pump, wcet=us(50))
+    load_sink = SwComponent("LoadSink")
+    load_sink.require("in", DATA_IF)
+    app.add(load_src.instantiate("load"))
+    app.add(load_sink.instantiate("sink"))
+    app.connect("load", "out", "sink", "in")
+    mapping.update({"load": "E4", "sink": "E2"})
+
+    system.set_root(app)
+    for instance, ecu in mapping.items():
+        system.map(instance, ecu)
+    # Idle instances still need a mapping when absent from `mapping`.
+    instances, __ = app.flatten()
+    for instance in instances:
+        if instance.name not in mapping:
+            system.map(instance.name, "E4")
+    if bus_kind == "can":
+        system.configure_bus("can", bitrate_bps=500_000)
+        for pdu, can_id in IDS.items():
+            system.set_can_id(pdu, can_id)
+    else:
+        system.configure_bus("flexray", slot_length=us(100),
+                             n_static_slots=4)
+    return system
+
+
+def analytic_bound(bus_kind: str, with_load: bool) -> int:
+    if bus_kind == "can":
+        frames = [CanFrameSpec("sensor.out", IDS["sensor.out"], dlc=3,
+                               period=SENSOR_PERIOD),
+                  CanFrameSpec("ctrl.out", IDS["ctrl.out"], dlc=3,
+                               period=SENSOR_PERIOD)]
+        if with_load:
+            frames.append(CanFrameSpec("load.out", IDS["load.out"], dlc=3,
+                                       period=LOAD_PERIOD))
+        result = can_rta.analyze(frames, 500_000)
+        hop1 = result.wcrt["sensor.out"]
+        hop2 = result.wcrt["ctrl.out"]
+    else:
+        config = FlexRayConfig(slot_length=us(100), n_static_slots=4)
+        # RTE assigns slots in sorted PDU order; both chain PDUs get a
+        # worst-case bound independent of the other slots.
+        hop1 = flexray_rta.static_latency_bound(
+            config, StaticSlotAssignment(4, "E1", "sensor.out"))
+        hop2 = flexray_rta.static_latency_bound(
+            config, StaticSlotAssignment(4, "E2", "ctrl.out"))
+    chain = Chain("sensor-to-actuator", [
+        Stage("frame1", hop1),
+        Stage("ctrl.control", CTRL_WCET),
+        Stage("frame2", hop2),
+        Stage("act.apply", ACT_WCET),
+    ])
+    return chain.worst_case_latency()
+
+
+def run_case(bus_kind: str, with_load: bool) -> dict:
+    probe = {"writes": {}, "latencies": []}
+    system = build_system(bus_kind, with_load, probe)
+    sim = Simulator()
+    system.build(sim)
+    sim.run_until(HORIZON)
+    observed = max(probe["latencies"])
+    bound = analytic_bound(bus_kind, with_load)
+    return {
+        "bus": bus_kind,
+        "load": "yes" if with_load else "no",
+        "observed_max_us": observed / us(1),
+        "analytic_bound_us": bound / us(1),
+        "bound_holds": observed <= bound,
+        "tightness": bound / observed,
+    }
+
+
+def run() -> list[dict]:
+    return [run_case(bus, load)
+            for bus in ("can", "flexray") for load in (False, True)]
+
+
+def check(rows: list[dict]) -> None:
+    assert all(r["bound_holds"] for r in rows)
+    can_rows = {r["load"]: r for r in rows if r["bus"] == "can"}
+    fr_rows = {r["load"]: r for r in rows if r["bus"] == "flexray"}
+    # CAN latency grows with load; FlexRay static latency does not.
+    assert can_rows["yes"]["observed_max_us"] > \
+        can_rows["no"]["observed_max_us"]
+    assert fr_rows["yes"]["observed_max_us"] == \
+        fr_rows["no"]["observed_max_us"]
+    # Bounds are usable, not wildly pessimistic.
+    assert all(r["tightness"] < 5.0 for r in rows)
+
+
+TITLE = "E4: end-to-end latency — simulation vs analytic bound"
+
+
+def bench_e4_e2e_latency(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

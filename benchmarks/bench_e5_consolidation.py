@@ -1,0 +1,83 @@
+"""E5 — Federated to integrated: ECU / wire / contact reduction.
+
+Claim (paper, Section 4): integrating the distributed application
+subsystems "into a unified automotive architecture" brings "a consequent
+reduction in the number of Electronic Control Units, physical wires and
+physical contact points".
+
+Setup: a synthetic vehicle of 4 DASes and 30 supplier functions (tasks
+with ASIL levels), generated deterministically.  We compare three
+architectures: the federated baseline (function-per-ECU, bus-per-domain,
+central gateway), an integrated design with strict criticality
+segregation (no isolation mechanisms assumed), and a fully mixed-
+criticality integrated design (timing protection available).  Every
+integrated ECU is verified schedulable by response-time analysis.
+
+Expected shape: integrated < segregated < federated on every physical
+metric; mixed-criticality integration (enabled by timing isolation, the
+paper's Section 1 argument) buys additional ECUs over segregation.
+"""
+
+import random
+
+from _tables import print_table
+
+from repro.dse import AllocatableTask, consolidation_report
+from repro.osek import TaskSpec
+from repro.units import ms
+
+SEED = 2008
+N_FUNCTIONS = 30
+DASES = ["powertrain", "chassis", "body", "adas"]
+CRITICALITY = {"powertrain": ["B", "C"], "chassis": ["C", "D"],
+               "body": ["QM", "A"], "adas": ["A", "B"]}
+PERIODS_MS = [5, 10, 20, 50, 100, 200]
+
+
+def vehicle_workload() -> list:
+    rng = random.Random(SEED)
+    tasks = []
+    for index in range(N_FUNCTIONS):
+        das = DASES[index % len(DASES)]
+        period = ms(rng.choice(PERIODS_MS))
+        utilization = rng.uniform(0.02, 0.15)
+        wcet = max(1, round(period * utilization))
+        criticality = rng.choice(CRITICALITY[das])
+        tasks.append(AllocatableTask(
+            TaskSpec(f"{das}_{index}", wcet=wcet, period=period,
+                     criticality=criticality), das))
+    return tasks
+
+
+def run() -> list[dict]:
+    return consolidation_report(vehicle_workload())
+
+
+def check(rows: list[dict]) -> None:
+    by_arch = {r["architecture"]: r for r in rows}
+    federated = by_arch["federated"]
+    segregated = by_arch["integrated-segregated"]
+    integrated = by_arch["integrated"]
+    for metric in ("ecus", "buses", "wires", "contacts"):
+        assert integrated[metric] <= segregated[metric] < federated[metric]
+    # Consolidation is massive: paper claims a *substantial* reduction.
+    assert integrated["ecus"] <= federated["ecus"] // 4
+    # The price: consolidated CPUs run much hotter.
+    assert integrated["max_cpu_utilization"] > \
+        federated["max_cpu_utilization"]
+
+
+TITLE = ("E5: federated vs integrated architecture for a 30-function, "
+         "4-DAS vehicle")
+
+
+def bench_e5_consolidation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

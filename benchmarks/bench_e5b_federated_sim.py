@@ -1,0 +1,149 @@
+"""E5b — Federated vs integrated, simulated end to end.
+
+Companion to E5 (which counts ECUs/wires/contacts): the same application
+is *deployed and simulated* twice —
+
+* **federated**: every DAS has its own CAN domain and ECUs; cross-DAS
+  signals hop through the auto-generated central gateway (two wire
+  traversals + gateway processing);
+* **integrated**: the same instances consolidated onto two ECUs sharing
+  one bus; cross-DAS signals are either local (same ECU) or one wire hop.
+
+Measured: worst observed latency of each cross-DAS signal (producer
+write to consumer buffer update), gateway forwards, and per-bus load.
+
+Expected shape: integration removes the gateway hop — cross-DAS latency
+drops by roughly the gateway delay plus one wire time — at the price of
+concentrating all load on one bus.
+"""
+
+from _tables import print_table
+
+from repro.analysis import ChainProbe
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+HORIZON = ms(500)
+#: cross-DAS flows: (signal, producer DAS, consumer DAS, period)
+FLOWS = [
+    ("engine_speed", "powertrain", "body", ms(10)),
+    ("wheel_speed", "chassis", "adas", ms(10)),
+    ("brake_state", "chassis", "body", ms(20)),
+]
+DASES = ["powertrain", "chassis", "body", "adas"]
+
+
+def build_app(probes):
+    app = Composition("Vehicle")
+    for signal, src_das, dst_das, period in FLOWS:
+        producer = SwComponent(f"P_{signal}")
+        producer.provide("out", DATA_IF)
+
+        def produce(ctx, signal=signal):
+            ctx.state["n"] = ctx.state.get("n", 0) + 1
+            seq = ctx.state["n"] % 65536
+            probes[signal].stamp(seq, ctx.now)
+            ctx.write("out", "v", seq)
+
+        producer.runnable("tick", TimingEvent(period), produce,
+                          wcet=us(100))
+        consumer = SwComponent(f"C_{signal}")
+        consumer.require("in", DATA_IF)
+
+        def consume(ctx, signal=signal):
+            probes[signal].observe(ctx.read("in", "v"), ctx.now)
+
+        consumer.runnable("on_data", DataReceivedEvent("in", "v"),
+                          consume, wcet=us(100))
+        app.add(producer.instantiate(f"p_{signal}"))
+        app.add(consumer.instantiate(f"c_{signal}"))
+        app.connect(f"p_{signal}", "out", f"c_{signal}", "in")
+    return app
+
+
+def run_federated(probes):
+    app = build_app(probes)
+    system = SystemModel("federated")
+    for das in DASES:
+        system.configure_domain_bus(das, "can", bitrate_bps=500_000)
+    for signal, src_das, dst_das, __ in FLOWS:
+        system.add_ecu(f"ECU_p_{signal}", domain=src_das)
+        system.add_ecu(f"ECU_c_{signal}", domain=dst_das)
+        system.map(f"p_{signal}", f"ECU_p_{signal}")
+        system.map(f"c_{signal}", f"ECU_c_{signal}")
+    system.set_root(app)
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(HORIZON)
+    return runtime
+
+
+def run_integrated(probes):
+    app = build_app(probes)
+    system = SystemModel("integrated")
+    system.add_ecu("VCU1")
+    system.add_ecu("VCU2")
+    system.configure_bus("can", bitrate_bps=500_000)
+    system.set_root(app)
+    for index, (signal, __, __, __) in enumerate(FLOWS):
+        system.map(f"p_{signal}", "VCU1" if index % 2 == 0 else "VCU2")
+        system.map(f"c_{signal}", "VCU2")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(HORIZON)
+    return runtime
+
+
+def run() -> list[dict]:
+    fed_probes = {signal: ChainProbe(signal) for signal, *_ in FLOWS}
+    federated = run_federated(fed_probes)
+    int_probes = {signal: ChainProbe(signal) for signal, *_ in FLOWS}
+    integrated = run_integrated(int_probes)
+    rows = []
+    for signal, src_das, dst_das, __ in FLOWS:
+        fed_worst = fed_probes[signal].worst
+        int_worst = int_probes[signal].worst
+        rows.append({
+            "signal": f"{signal} ({src_das}->{dst_das})",
+            "federated_us": fed_worst / us(1),
+            "integrated_us": int_worst / us(1),
+            "speedup": fed_worst / int_worst if int_worst else None,
+        })
+    rows.append({
+        "signal": "gateway forwards",
+        "federated_us": float(federated.gateway.forwarded),
+        "integrated_us": 0.0,
+        "speedup": None,
+    })
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    flow_rows = rows[:-1]
+    for row in flow_rows:
+        # Integration removes the gateway hop: strictly faster.
+        assert row["integrated_us"] < row["federated_us"], row
+        assert row["speedup"] > 1.5
+    gateway_row = rows[-1]
+    assert gateway_row["federated_us"] > 100
+    assert gateway_row["integrated_us"] == 0
+
+
+TITLE = ("E5b: cross-DAS signal latency — federated (gateway) vs "
+         "integrated (shared platform)")
+
+
+def bench_e5b_federated_sim(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

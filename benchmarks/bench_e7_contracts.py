@@ -1,0 +1,136 @@
+"""E7 — Rich-contract analysis: compatibility, dominance, confidence.
+
+Claim (paper, Section 3): rich component interfaces enable "interface
+compatibility analysis beyond pure static checking", dominance analysis
+between contracts, and "system-level analysis … up to a degree of
+confidence characterized by the collection of vertical assumptions".
+
+Setup: chains of N rich components (each guaranteeing an output range
+that must satisfy its successor's assumption), plus deliberately
+incompatible variants.  We measure (a) detection: every seeded
+incompatibility and failed dominance is found with a counterexample,
+(b) the bottom-up vertical compliance verdict, and (c) how the joint
+analysis confidence decays with the number of design units — the paper's
+"degree of confidence" made concrete.
+
+Expected shape: 100% seeded-defect detection; confidence decays
+geometrically with component count, so per-assumption confidence
+requirements tighten as systems integrate more suppliers.
+"""
+
+from _tables import print_table
+
+from repro.contracts import (CPU, Contract, Predicate, ResourceOffer, Var,
+                             VerticalAssumption, check_compliance,
+                             check_contract_flow, confidence_report,
+                             required_per_assumption)
+
+#: one link variable per connection: stage i reads x_i, writes x_{i+1}.
+UNIVERSE = {f"x{i}": Var(f"x{i}", range(0, 256, 8)) for i in range(64)}
+
+
+def stage_contract(index: int, output_limit: int,
+                   input_limit: int) -> Contract:
+    """Stage ``index``: assumes its input link x_index stays within
+    ``input_limit`` and guarantees its output link x_{index+1} within
+    ``output_limit``."""
+    in_var, out_var = f"x{index}", f"x{index + 1}"
+    return Contract(
+        f"stage{index}",
+        Predicate(lambda e, v=in_var, lim=input_limit: e[v] <= lim,
+                  [in_var], f"{in_var}<={input_limit}"),
+        Predicate(lambda e, v=out_var, lim=output_limit: e[v] <= lim,
+                  [out_var], f"{out_var}<={output_limit}"))
+
+
+def chain_compatibility(n: int, break_at: int = -1) -> dict:
+    """Check an n-stage chain; optionally seed an incompatibility."""
+    contracts = []
+    for index in range(n):
+        output_limit = 128
+        if index == break_at:
+            output_limit = 240  # promises more than successor accepts
+        contracts.append(stage_contract(index, output_limit, 160))
+    found = 0
+    checked = 0
+    for source, target in zip(contracts, contracts[1:]):
+        result = check_contract_flow(source, target, UNIVERSE)
+        checked += result.checked_environments
+        if not result.ok:
+            found += 1
+    return {"incompatibilities": found, "environments": checked}
+
+
+def dominance_detection(n: int) -> dict:
+    """Seed n refinement pairs, half of them broken; count detections."""
+    spec = stage_contract(0, 128, 160)
+    broken_found = 0
+    intact_passed = 0
+    for index in range(n):
+        # All candidates implement stage 0, i.e. speak about the same
+        # link variables as the specification.
+        if index % 2 == 0:  # valid refinement: tighter guarantee
+            impl = stage_contract(0, 96, 200)
+            if impl.refines(spec, UNIVERSE):
+                intact_passed += 1
+        else:  # broken: weaker guarantee
+            impl = stage_contract(0, 200, 200)
+            if not impl.refines(spec, UNIVERSE):
+                broken_found += 1
+    return {"broken_found": broken_found, "intact_passed": intact_passed,
+            "expected_each": n // 2 + (n % 2)}
+
+
+def run() -> list[dict]:
+    rows = []
+    for n in (5, 10, 20, 40):
+        clean = chain_compatibility(n)
+        seeded = chain_compatibility(n, break_at=n // 2)
+        assumptions = [VerticalAssumption(f"unit{i}", CPU, 0.5 / n, 0.99)
+                       for i in range(n)]
+        offers = [ResourceOffer("ECU", CPU, 1.0)]
+        compliance = check_compliance(assumptions, offers,
+                                      {f"unit{i}": "ECU"
+                                       for i in range(n)})
+        report = confidence_report(assumptions, target=0.9)
+        rows.append({
+            "components": n,
+            "clean_chain_flags": clean["incompatibilities"],
+            "seeded_defect_found": seeded["incompatibilities"],
+            "compliant": compliance.ok,
+            "joint_confidence": report["product"],
+            "per_unit_needed_for_0.9": required_per_assumption(0.9, n),
+        })
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["clean_chain_flags"] == 0
+        assert row["seeded_defect_found"] == 1
+        assert row["compliant"]
+    confidences = [r["joint_confidence"] for r in rows]
+    assert all(a > b for a, b in zip(confidences, confidences[1:])), \
+        "joint confidence must decay with component count"
+    needed = [r["per_unit_needed_for_0.9"] for r in rows]
+    assert all(a < b for a, b in zip(needed, needed[1:])), \
+        "per-unit confidence requirements tighten with integration scale"
+    dominance = dominance_detection(10)
+    assert dominance["broken_found"] == 5
+    assert dominance["intact_passed"] == 5
+
+
+TITLE = ("E7: contract compatibility, dominance and confidence vs "
+         "integration scale")
+
+
+def bench_e7_contracts(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

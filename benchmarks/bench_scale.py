@@ -1,0 +1,109 @@
+"""Scalability — simulation throughput across system sizes.
+
+Not a paper claim, but an adoption-relevant property of the library:
+how long does it take to simulate one second of vehicle time as the
+system grows?  The workload is a seeded synthetic system of N ECUs on
+one CAN bus, 4 periodic tasks per ECU, and one cross-ECU signal per
+ECU.  The asserted shape is sub-quadratic scaling in event volume:
+simulated events per wall-second must stay within an order of magnitude
+across a 16x size sweep.
+"""
+
+import random
+import time
+
+from _tables import print_table
+
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+SEED = 5
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+HORIZON = ms(1000)
+SIZES = [2, 4, 8, 16, 32]
+
+
+def build(n_ecus: int):
+    rng = random.Random(SEED)
+    app = Composition("Scale")
+    system = SystemModel(f"scale{n_ecus}")
+    for index in range(n_ecus):
+        system.add_ecu(f"E{index}")
+    for index in range(n_ecus):
+        producer = SwComponent(f"Producer{index}")
+        producer.provide("out", DATA_IF)
+
+        def tick(ctx):
+            ctx.state["n"] = ctx.state.get("n", 0) + 1
+            ctx.write("out", "v", ctx.state["n"] % 65536)
+
+        producer.runnable("tick",
+                          TimingEvent(ms(rng.choice([10, 20, 50]))),
+                          tick, wcet=us(rng.randint(50, 300)))
+        app.add(producer.instantiate(f"p{index}"))
+        system.map(f"p{index}", f"E{index}")
+        consumer = SwComponent(f"Consumer{index}")
+        consumer.require("in", DATA_IF)
+        consumer.runnable("on_data", DataReceivedEvent("in", "v"),
+                          lambda ctx: None, wcet=us(100))
+        app.add(consumer.instantiate(f"c{index}"))
+        system.map(f"c{index}", f"E{(index + 1) % n_ecus}")
+        app.connect(f"p{index}", "out", f"c{index}", "in")
+        for extra in range(3):
+            filler = SwComponent(f"Filler{index}_{extra}")
+            filler.provide("out", DATA_IF)
+            filler.runnable("spin",
+                            TimingEvent(ms(rng.choice([5, 10, 25]))),
+                            lambda ctx: None,
+                            wcet=us(rng.randint(20, 200)))
+            app.add(filler.instantiate(f"f{index}_{extra}"))
+            system.map(f"f{index}_{extra}", f"E{index}")
+    system.set_root(app)
+    system.configure_bus("can", bitrate_bps=500_000)
+    return system
+
+
+def run() -> list[dict]:
+    rows = []
+    for n_ecus in SIZES:
+        system = build(n_ecus)
+        sim = Simulator()
+        system.build(sim)
+        start = time.perf_counter()
+        sim.run_until(HORIZON)
+        elapsed = time.perf_counter() - start
+        events = sim.executed
+        rows.append({
+            "ecus": n_ecus,
+            "tasks": 5 * n_ecus,  # producer + consumer + 3 fillers each
+            "events": events,
+            "wall_s": elapsed,
+            "events_per_s": events / elapsed if elapsed else None,
+        })
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    throughputs = [r["events_per_s"] for r in rows]
+    assert min(throughputs) > max(throughputs) / 10, \
+        "event throughput should not collapse with system size"
+    for row in rows:
+        assert row["events"] > 0
+
+
+TITLE = "Scale: simulation throughput vs system size (1 s vehicle time)"
+
+
+def bench_scale(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

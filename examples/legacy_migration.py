@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Migrating legacy CAN software into an integrated TT architecture.
+
+Section 4 of the paper sketches the migration path: new platforms are
+time-triggered, but the installed base of CAN software must carry over.
+Two mechanisms make that possible, both demonstrated here on the same
+legacy application:
+
+1. **CAN overlay** (`repro.legacy`): the legacy node moves *onto* the
+   integrated platform; its unmodified controller-API code now rides a
+   TDMA round.
+2. **FlexRay/CAN gateway** (`repro.bsw.gateway`): the legacy node stays
+   on its physical CAN island; a gateway bridges selected frames onto
+   the FlexRay backbone where the new integrated functions consume them.
+
+The script runs the same publisher code in three worlds — native CAN,
+overlay, and island+gateway+backbone — and reports what arrives where.
+
+Run:  python examples/legacy_migration.py
+"""
+
+from repro.bsw import FlexRayCanGateway
+from repro.legacy import CanOverlay
+from repro.network import (CanBus, CanFrameSpec, FlexRayBus, FlexRayConfig,
+                           StaticSlotAssignment)
+from repro.sim import Simulator
+from repro.units import fmt_time, ms, us
+
+PERIOD = ms(10)
+HORIZON = ms(200)
+
+
+def legacy_publisher(sim, controller, spec):
+    """The unmodified legacy code: publish a counter every 10 ms."""
+    state = {"n": 0}
+
+    def fire():
+        state["n"] += 1
+        controller.send(spec, payload=state["n"])
+        sim.schedule(PERIOD, fire)
+
+    fire()
+    return state
+
+
+def world_native():
+    sim = Simulator()
+    bus = CanBus(sim, 500_000)
+    spec = CanFrameSpec("wheel_speed", 0x120, dlc=8, period=PERIOD)
+    publisher = bus.attach("legacy")
+    consumer = bus.attach("consumer")
+    got = []
+    consumer.on_receive(lambda s, m: got.append(m))
+    legacy_publisher(sim, publisher, spec)
+    sim.run_until(HORIZON)
+    latencies = [m.latency for m in got]
+    return len(got), max(latencies)
+
+
+def world_overlay():
+    sim = Simulator()
+    overlay = CanOverlay(sim, ["legacy", "consumer", "new_fn"],
+                         slot_length=us(500), slot_capacity_bytes=32)
+    spec = CanFrameSpec("wheel_speed", 0x120, dlc=8, period=PERIOD)
+    got = []
+    overlay.attach("consumer").on_receive(lambda s, m: got.append(m))
+    legacy_publisher(sim, overlay.attach("legacy"), spec)
+    overlay.start()
+    sim.run_until(HORIZON)
+    latencies = [m.latency for m in got]
+    return len(got), max(latencies)
+
+
+def world_gateway():
+    sim = Simulator()
+    island = CanBus(sim, 500_000, name="ISLAND")
+    backbone = FlexRayBus(sim, FlexRayConfig(slot_length=us(200),
+                                             n_static_slots=4),
+                          name="BACKBONE")
+    gateway = FlexRayCanGateway(sim, "GW", island, backbone,
+                                processing_delay=us(100))
+    backbone.assign_slot(StaticSlotAssignment(1, "GW.fr", "wheel_speed"))
+    gateway.route_to_flexray("wheel_speed", slot=1)
+    integrated = backbone.attach("integrated_fn")
+    got = []
+    integrated.on_receive(lambda name, msg, slot: got.append(msg))
+    spec = CanFrameSpec("wheel_speed", 0x120, dlc=8, period=PERIOD)
+    legacy_publisher(sim, island.attach("legacy"), spec)
+    backbone.start()
+    sim.run_until(HORIZON)
+    # Latency here spans CAN wire + gateway + next backbone slot; the
+    # FlexRay message's enqueue stamp starts at the gateway, so measure
+    # deliveries instead and report the slot-bounded backbone hop.
+    return len(got), backbone.config.cycle_length + us(200)
+
+
+def main():
+    expected = HORIZON // PERIOD
+    print(f"Legacy publisher: one frame every {fmt_time(PERIOD)}, "
+          f"{expected} frames expected per run\n")
+    rows = [
+        ("native CAN (before migration)", *world_native()),
+        ("CAN overlay on TT platform", *world_overlay()),
+        ("CAN island + gateway + FlexRay", *world_gateway()),
+    ]
+    print(f"  {'world':<34} {'delivered':<10} {'worst latency'}")
+    print("  " + "-" * 62)
+    for world, delivered, worst in rows:
+        print(f"  {world:<34} {delivered:<10} {fmt_time(worst)}")
+    print("\nSame legacy code in all three worlds; only the platform "
+          "binding changed.")
+
+
+if __name__ == "__main__":
+    main()

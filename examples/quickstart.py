@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Quickstart: one component application, three execution platforms.
+
+Builds a minimal cruise-control-flavoured application — a wheel-speed
+sensor, a controller, and an actuator — then runs the *same component
+code*:
+
+1. on the Virtual Functional Bus (deployment-independent reference run);
+2. deployed on two ECUs connected by CAN;
+3. deployed on two ECUs connected by FlexRay;
+
+and finishes with the static timing analysis for the CAN deployment.
+This is the paper's core workflow: design against the VFB, deploy through
+the RTE, verify timing analytically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import Chain, EVENT, SAMPLED, Stage, can_rta, rta
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16, VfbSimulation)
+from repro.network.can import CanFrameSpec
+from repro.sim import Simulator
+from repro.units import fmt_time, ms, us
+
+SPEED_IF = SenderReceiverInterface("speed_if", {"kmh": UINT16})
+TORQUE_IF = SenderReceiverInterface("torque_if", {"nm": UINT16})
+
+
+def build_components():
+    """Three SWC types.  Their behaviour code touches only ``ctx`` —
+    the portability contract that lets it run on any platform."""
+    sensor = SwComponent("WheelSpeedSensor")
+    sensor.provide("speed", SPEED_IF)
+
+    def sample(ctx):
+        ctx.state.setdefault("kmh", 50)
+        ctx.state["kmh"] = (ctx.state["kmh"] + 1) % 200
+        ctx.write("speed", "kmh", ctx.state["kmh"])
+
+    sensor.runnable("sample", TimingEvent(ms(10)), sample, wcet=us(200))
+
+    controller = SwComponent("CruiseController")
+    controller.require("speed", SPEED_IF)
+    controller.provide("torque", TORQUE_IF)
+
+    def control(ctx):
+        target = 120
+        error = target - ctx.read("speed", "kmh")
+        ctx.write("torque", "nm", max(0, min(500, 250 + error)))
+
+    controller.runnable("control", DataReceivedEvent("speed", "kmh"),
+                        control, wcet=us(500))
+
+    actuator = SwComponent("TorqueActuator")
+    actuator.require("torque", TORQUE_IF)
+
+    def apply(ctx):
+        ctx.state["applied"] = ctx.read("torque", "nm")
+
+    actuator.runnable("apply", DataReceivedEvent("torque", "nm"), apply,
+                      wcet=us(300))
+    return sensor, controller, actuator
+
+
+def build_composition():
+    sensor, controller, actuator = build_components()
+    app = Composition("CruiseApp")
+    app.add(sensor.instantiate("sensor"))
+    app.add(controller.instantiate("ctrl"))
+    app.add(actuator.instantiate("act"))
+    app.connect("sensor", "speed", "ctrl", "speed")
+    app.connect("ctrl", "torque", "act", "torque")
+    return app
+
+
+def run_on_vfb():
+    print("=== 1. Virtual Functional Bus (no platform) ===")
+    sim = Simulator()
+    vfb = VfbSimulation(sim, build_composition())
+    vfb.start()
+    sim.run_until(ms(100))
+    print(f"  runnable executions : {vfb.runnable_executions}")
+    print(f"  final torque value  : {vfb.value_of('act', 'torque', 'nm')}")
+    print()
+
+
+def deploy(bus_kind):
+    system = SystemModel(f"cruise-{bus_kind}")
+    system.add_ecu("SensorECU")
+    system.add_ecu("ControlECU")
+    system.set_root(build_composition())
+    system.map("sensor", "SensorECU")
+    system.map("ctrl", "ControlECU")
+    system.map("act", "ControlECU")
+    system.configure_bus(bus_kind)
+    return system
+
+
+def run_deployment(bus_kind):
+    print(f"=== 2. Deployed on 2 ECUs over {bus_kind.upper()} ===")
+    system = deploy(bus_kind)
+    issues = system.validate()
+    print(f"  configuration checks: "
+          f"{'PASS' if not issues else issues}")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(100))
+    responses = runtime.response_times("ctrl.control")
+    print(f"  torque applied      : "
+          f"{runtime.value_of('act', 'torque', 'nm')}")
+    print(f"  control activations : {len(responses)}")
+    if bus_kind == "can":
+        lat = runtime.bus.latencies("sensor.speed")
+        print(f"  bus latency (max)   : {fmt_time(max(lat))}")
+    print(f"  deadline misses     : {runtime.deadline_misses()}")
+    print()
+    return runtime
+
+
+def run_timing_analysis():
+    print("=== 3. Static timing analysis (CAN deployment) ===")
+    # The tasks as the RTE would generate them.
+    from repro.osek import TaskSpec
+    sensor_task = TaskSpec("sensor.sample", wcet=us(200), period=ms(10),
+                           priority=1)
+    control_task = TaskSpec("ctrl.control", wcet=us(500), period=ms(10),
+                            priority=1000)
+    frame = CanFrameSpec("sensor.speed", 0x100, dlc=3, period=ms(10))
+    task_result = rta.analyze([sensor_task])
+    frame_result = can_rta.analyze([frame], 500_000)
+    chain = Chain("speed-to-torque", [
+        Stage("sensor.sample", task_result.wcrt["sensor.sample"],
+              semantics=SAMPLED, period=ms(10)),
+        Stage("CAN frame", frame_result.wcrt["sensor.speed"]),
+        Stage("ctrl.control", us(500)),
+        Stage("act.apply", us(300)),
+    ])
+    print(f"  sensor task WCRT    : "
+          f"{fmt_time(task_result.wcrt['sensor.sample'])}")
+    print(f"  CAN frame WCRT      : "
+          f"{fmt_time(frame_result.wcrt['sensor.speed'])}")
+    print(f"  end-to-end bound    : {fmt_time(chain.worst_case_latency())}")
+    print(f"  dominant stage      : {chain.dominant_stage()}")
+    budget = ms(15)
+    verdict = "MET" if chain.check_budget(budget) else "VIOLATED"
+    print(f"  15 ms budget        : {verdict}")
+
+
+def run_timing_report():
+    print("\n=== 4. Prior-to-implementation timing report ===")
+    from repro.analysis import timing_report
+    report = timing_report(deploy("can"))
+    print(f"  analysable          : {report.analysable}")
+    print(f"  schedulable         : {report.schedulable}")
+    for chain, bound in report.chain_latency.items():
+        print(f"  chain bound         : {chain}")
+        print(f"                        <= {fmt_time(bound)}")
+    for issue in report.issues:
+        print(f"  note                : {issue}")
+
+
+def main():
+    run_on_vfb()
+    run_deployment("can")
+    run_deployment("flexray")
+    run_timing_analysis()
+    run_timing_report()
+
+
+if __name__ == "__main__":
+    main()

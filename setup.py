@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build an editable wheel.
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+once ``wheel`` is available) installs the package from ``pyproject.toml``
+metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro {info,selftest}``.
+
+``info`` prints the package inventory; ``selftest`` runs a miniature
+end-to-end scenario (component app -> RTE deployment over CAN -> timing
+analysis cross-check) and exits non-zero on any discrepancy — a quick
+installation sanity check.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+
+def info() -> int:
+    """Print the package inventory (the `info` subcommand)."""
+    print(f"repro {repro.__version__} — reproduction of "
+          f"'Software Components for Reliable Automotive Systems' "
+          f"(DATE 2008)")
+    subsystems = [
+        ("repro.sim", "discrete-event simulation substrate"),
+        ("repro.osek", "OSEK-like OS: FP / TDMA / reservation"),
+        ("repro.network", "CAN, FlexRay, TTP, TT-Ethernet"),
+        ("repro.com", "signals, I-PDUs, COM stack"),
+        ("repro.core", "SWCs, VFB, RTE, system configuration"),
+        ("repro.contracts", "rich contracts + vertical assumptions"),
+        ("repro.analysis", "RTA, bus analysis, e2e chains, TT synthesis"),
+        ("repro.noc", "MPSoC: shared bus vs TDMA NoC"),
+        ("repro.faults", "fault injection + containment monitors"),
+        ("repro.bsw", "modes, DEM, NVRAM, watchdog, NM, diag, gateway"),
+        ("repro.dse", "allocation, priorities, consolidation"),
+        ("repro.legacy", "CAN overlay middleware"),
+    ]
+    for module, description in subsystems:
+        print(f"  {module:<16} {description}")
+    print("Experiments: see EXPERIMENTS.md; "
+          "run `pytest benchmarks/ --benchmark-only`.")
+    return 0
+
+
+def selftest() -> int:
+    """Run the end-to-end installation check (the `selftest` subcommand)."""
+    from repro.analysis import Chain, ChainProbe, Stage, can_rta
+    from repro.core import (Composition, DataReceivedEvent,
+                            SenderReceiverInterface, SwComponent,
+                            SystemModel, TimingEvent, UINT16)
+    from repro.network import CanFrameSpec
+    from repro.sim import Simulator
+    from repro.units import ms, us
+
+    data_if = SenderReceiverInterface("d", {"v": UINT16})
+    probe = ChainProbe("selftest")
+
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", data_if)
+
+    def sample(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        seq = ctx.state["n"] % 65536
+        probe.stamp(seq, ctx.now)
+        ctx.write("out", "v", seq)
+
+    sensor.runnable("sample", TimingEvent(ms(10)), sample, wcet=us(100))
+    sink = SwComponent("Sink")
+    sink.require("in", data_if)
+    sink.runnable("consume", DataReceivedEvent("in", "v"),
+                  lambda ctx: probe.observe(ctx.read("in", "v"), ctx.now),
+                  wcet=us(100))
+
+    app = Composition("App")
+    app.add(sensor.instantiate("s"))
+    app.add(sink.instantiate("k"))
+    app.connect("s", "out", "k", "in")
+    system = SystemModel("selftest")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("s", "E1")
+    system.map("k", "E2")
+    system.configure_bus("can")
+    issues = system.validate()
+    if issues:
+        print("FAIL: configuration checks:", issues)
+        return 1
+    sim = Simulator()
+    system.build(sim)
+    sim.run_until(ms(200))
+    frame = CanFrameSpec("s.out", 0x100, dlc=3, period=ms(10))
+    bound = can_rta.analyze([frame], 500_000)
+    chain = Chain("selftest", [Stage("frame", bound.wcrt["s.out"]),
+                               Stage("consume", us(100))])
+    verdict = probe.check_against(chain)
+    status = "PASS" if verdict["bound_holds"] and probe.latencies else \
+        "FAIL"
+    print(f"{status}: {len(probe.latencies)} deliveries, observed max "
+          f"{verdict['observed_max']} ns <= bound "
+          f"{verdict['analytic_bound']} ns "
+          f"(tightness {verdict['tightness']:.2f}x)")
+    return 0 if status == "PASS" else 1
+
+
+def main(argv: list[str]) -> int:
+    """CLI dispatch; returns the process exit code."""
+    command = argv[1] if len(argv) > 1 else "info"
+    if command == "info":
+        return info()
+    if command == "selftest":
+        return selftest()
+    print(f"unknown command {command!r}; use 'info' or 'selftest'")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

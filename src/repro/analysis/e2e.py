@@ -1,0 +1,106 @@
+"""End-to-end latency analysis over distributed cause-effect chains.
+
+Section 3's goal: "assess realizability of end-to-end latencies at system
+level".  A chain is a sequence of :class:`Stage` objects — task
+executions and bus transmissions — each with a worst-case response bound
+(from :mod:`repro.analysis.rta` / ``can_rta`` / ``flexray_rta``) and an
+activation semantics:
+
+* ``EVENT`` — the stage is activated by its predecessor's output (data-
+  driven task, direct-mode frame): it contributes its response bound;
+* ``SAMPLED`` — the stage runs on its own periodic clock and *samples*
+  the predecessor's output (implicit-communication periodic task,
+  periodic frame): the value may just miss a sampling point, adding one
+  full period on top of the response bound.
+
+The composition rule gives the classic worst-case data-age bound for
+mixed event/time-triggered chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AnalysisError
+
+EVENT = "event"
+SAMPLED = "sampled"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One hop of a cause-effect chain."""
+
+    name: str
+    response_bound: int
+    semantics: str = EVENT
+    period: Optional[int] = None
+    best_case: int = 0
+
+    def __post_init__(self):
+        if self.semantics not in (EVENT, SAMPLED):
+            raise AnalysisError(
+                f"stage {self.name}: unknown semantics "
+                f"{self.semantics!r}")
+        if self.response_bound < 0:
+            raise AnalysisError(
+                f"stage {self.name}: negative response bound")
+        if self.semantics == SAMPLED and (self.period is None
+                                          or self.period <= 0):
+            raise AnalysisError(
+                f"stage {self.name}: sampled stages need a period")
+        if not 0 <= self.best_case <= self.response_bound:
+            raise AnalysisError(
+                f"stage {self.name}: need 0 <= best_case <= "
+                f"response_bound")
+
+
+class Chain:
+    """A named end-to-end cause-effect chain."""
+
+    def __init__(self, name: str, stages: list[Stage]):
+        if not stages:
+            raise AnalysisError(f"chain {name}: needs at least one stage")
+        self.name = name
+        self.stages = list(stages)
+
+    def worst_case_latency(self) -> int:
+        """Upper bound on input-event to output latency (data age)."""
+        total = 0
+        for stage in self.stages:
+            total += stage.response_bound
+            if stage.semantics == SAMPLED:
+                total += stage.period
+        return total
+
+    def best_case_latency(self) -> int:
+        """Lower bound: every stage at its best case, perfect sampling."""
+        return sum(stage.best_case for stage in self.stages)
+
+    def breakdown(self) -> list[dict]:
+        """Per-stage contribution table for reports."""
+        rows = []
+        for stage in self.stages:
+            sampling = stage.period if stage.semantics == SAMPLED else 0
+            rows.append({
+                "stage": stage.name,
+                "semantics": stage.semantics,
+                "response": stage.response_bound,
+                "sampling": sampling,
+                "total": stage.response_bound + sampling,
+            })
+        return rows
+
+    def check_budget(self, budget: int) -> bool:
+        """Realizability check against an end-to-end latency budget."""
+        return self.worst_case_latency() <= budget
+
+    def dominant_stage(self) -> str:
+        """The stage contributing most to the bound — where to optimize."""
+        rows = self.breakdown()
+        return max(rows, key=lambda r: r["total"])["stage"]
+
+    def __repr__(self) -> str:
+        return (f"<Chain {self.name} stages={len(self.stages)} "
+                f"wc={self.worst_case_latency()}>")

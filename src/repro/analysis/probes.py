@@ -1,0 +1,90 @@
+"""Runtime probes for end-to-end latency measurement.
+
+Analytic chain bounds (:mod:`repro.analysis.e2e`) need a measured
+counterpart to be validated against.  A :class:`ChainProbe` timestamps a
+datum where it is produced and observes it where it is consumed; the
+observed latency distribution can then be compared with a
+:class:`~repro.analysis.e2e.Chain` bound via :meth:`check_against`.
+
+Typical use inside runnables (the probe is platform-agnostic — the same
+code instruments a VFB run and a deployed run)::
+
+    probe = ChainProbe("pedal-to-caliper")
+
+    def sense(ctx):                       # producer runnable
+        seq = next_sequence_number(ctx)
+        probe.stamp(seq, ctx.now)
+        ctx.write("out", "v", seq)
+
+    def actuate(ctx):                     # consumer runnable
+        probe.observe(ctx.read("in", "v"), ctx.now)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.e2e import Chain
+from repro.errors import AnalysisError
+from repro.sim.trace import summarize
+
+
+class ChainProbe:
+    """Correlates production and consumption timestamps by key."""
+
+    def __init__(self, name: str = "chain", max_pending: int = 100_000):
+        self.name = name
+        self.max_pending = max_pending
+        self._stamps: dict = {}
+        self.latencies: list[int] = []
+        self.duplicates = 0
+        self.unmatched = 0
+
+    def stamp(self, key, now: int) -> None:
+        """Record that datum ``key`` was produced at ``now``."""
+        if key in self._stamps:
+            self.duplicates += 1
+        self._stamps[key] = now
+        if len(self._stamps) > self.max_pending:
+            raise AnalysisError(
+                f"probe {self.name}: {self.max_pending} unconsumed stamps "
+                f"— is the consumer wired?")
+
+    def observe(self, key, now: int) -> Optional[int]:
+        """Record consumption; returns the measured latency (None when
+        the key was never stamped, e.g. an initial default value)."""
+        produced = self._stamps.pop(key, None)
+        if produced is None:
+            self.unmatched += 1
+            return None
+        latency = now - produced
+        self.latencies.append(latency)
+        return latency
+
+    @property
+    def worst(self) -> Optional[int]:
+        """Largest latency measured so far (None before any observation)."""
+        return max(self.latencies) if self.latencies else None
+
+    def summary(self) -> dict:
+        """min/avg/max summary of the measured latencies."""
+        return summarize(self.latencies)
+
+    def check_against(self, chain: Chain) -> dict:
+        """Compare measurements with an analytic chain bound."""
+        if not self.latencies:
+            raise AnalysisError(f"probe {self.name}: no measurements")
+        bound = chain.worst_case_latency()
+        worst = self.worst
+        return {
+            "probe": self.name,
+            "chain": chain.name,
+            "observed_max": worst,
+            "analytic_bound": bound,
+            "bound_holds": worst <= bound,
+            "tightness": bound / worst if worst else None,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ChainProbe {self.name} n={len(self.latencies)} "
+                f"worst={self.worst}>")

@@ -1,0 +1,152 @@
+"""Sensitivity analysis: how much headroom a design has.
+
+Used to "explore the design space of possible system configurations"
+(Section 3): given a schedulable configuration, how far can execution
+times grow before deadlines break (robustness to WCET underestimation),
+and how much slack does each individual task have for future extension?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.analysis.rta import analyze
+from repro.osek.task import TaskSpec
+
+
+def _scaled(tasks: list[TaskSpec], factor: float) -> list[TaskSpec]:
+    scaled = []
+    for task in tasks:
+        wcet = max(1, round(task.wcet * factor))
+        scaled.append(replace_spec(task, wcet=wcet))
+    return scaled
+
+
+def replace_spec(spec: TaskSpec, **changes) -> TaskSpec:
+    """Copy a TaskSpec with field changes (TaskSpec is a mutable
+    dataclass with __post_init__ defaults; rebuild cleanly)."""
+    kwargs = dict(
+        name=spec.name, wcet=spec.wcet, period=spec.period,
+        offset=spec.offset, deadline=spec.deadline, priority=spec.priority,
+        partition=spec.partition, max_activations=spec.max_activations,
+        budget=spec.budget, jitter=spec.jitter, bcet=min(spec.bcet,
+                                                         spec.wcet),
+        criticality=spec.criticality)
+    kwargs.update(changes)
+    if "wcet" in changes and "bcet" not in changes:
+        kwargs["bcet"] = min(kwargs["bcet"], kwargs["wcet"])
+    return TaskSpec(**kwargs)
+
+
+def critical_scaling_factor(tasks: list[TaskSpec],
+                            critical_sections: Optional[dict] = None,
+                            precision: float = 0.001) -> float:
+    """Largest uniform WCET scaling factor keeping the set schedulable.
+
+    Binary search; a factor of 1.25 means every WCET may be 25% worse
+    than estimated before any deadline is missed.
+    """
+    if not analyze(tasks, critical_sections).schedulable:
+        return 0.0
+    lo, hi = 1.0, 1.0
+    while analyze(_scaled(tasks, hi * 2), critical_sections).schedulable:
+        hi *= 2
+        if hi > 1024:
+            raise AnalysisError("scaling factor diverges (no busy CPU?)")
+    hi *= 2
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if analyze(_scaled(tasks, mid), critical_sections).schedulable:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def task_slack(tasks: list[TaskSpec], task_name: str,
+               critical_sections: Optional[dict] = None) -> int:
+    """Maximum additional WCET (ns) task ``task_name`` can absorb while
+    the whole set stays schedulable (binary search)."""
+    index = next((i for i, t in enumerate(tasks) if t.name == task_name),
+                 None)
+    if index is None:
+        raise AnalysisError(f"unknown task {task_name!r}")
+    if not analyze(tasks, critical_sections).schedulable:
+        return 0
+
+    def ok(extra: int) -> bool:
+        trial = list(tasks)
+        trial[index] = replace_spec(trial[index],
+                                    wcet=trial[index].wcet + extra)
+        return analyze(trial, critical_sections).schedulable
+
+    lo, hi = 0, tasks[index].period or 10 ** 12
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def critical_bitrate(frames, current_bitrate_bps: int) -> int:
+    """Smallest bus bitrate (bps) at which the CAN frame set remains
+    schedulable — how much headroom a bus-speed downgrade has, or
+    conversely how close the design is to needing a faster bus."""
+    from repro.analysis import can_rta
+
+    if not can_rta.analyze(frames, current_bitrate_bps).schedulable:
+        raise AnalysisError(
+            "frame set is not schedulable at the current bitrate")
+    lo, hi = 1_000, current_bitrate_bps
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if can_rta.analyze(frames, mid).schedulable:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def admissible_new_frame(frames, bitrate_bps: int, period: int,
+                         can_id: int) -> Optional[int]:
+    """Largest DLC (0..8) a *new* frame with the given id/period could
+    have without breaking any existing frame; None when even an empty
+    frame does not fit."""
+    from repro.analysis import can_rta
+    from repro.network.can import CanFrameSpec
+
+    if any(f.can_id == can_id for f in frames):
+        raise AnalysisError(f"CAN id {can_id:#x} already in use")
+    best = None
+    for dlc in range(0, 9):
+        probe = CanFrameSpec("__probe__", can_id, dlc=dlc, period=period)
+        if can_rta.analyze(frames + [probe], bitrate_bps).schedulable:
+            best = dlc
+        else:
+            break
+    return best
+
+
+def admissible_new_task(tasks: list[TaskSpec], period: int, priority: int,
+                        deadline: Optional[int] = None) -> int:
+    """Largest WCET a *new* task with the given parameters could bring
+    to this ECU without breaking anyone — the extensibility headroom the
+    consolidation DSE uses."""
+    def ok(wcet: int) -> bool:
+        trial = tasks + [TaskSpec("__probe__", wcet=wcet, period=period,
+                                  priority=priority, deadline=deadline)]
+        return analyze(trial).schedulable
+
+    if not analyze(tasks).schedulable or not ok(1):
+        return 0
+    lo, hi = 1, period
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

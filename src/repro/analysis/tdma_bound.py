@@ -1,0 +1,121 @@
+"""Response-time bounds under temporal partitioning.
+
+Strict TDMA CPU partitions and deferrable servers deliver *supply bound
+functions* (sbf): the minimum CPU time a partition receives in any window
+of length ``t``.  A demand ``C`` is served within the smallest ``t`` with
+``sbf(t) >= C`` — a bound that is independent of every other partition's
+behaviour, which is the analytical face of timing isolation (experiments
+E1/E2 quantify the latency cost).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AnalysisError
+from repro.osek.tdma import TdmaScheduler
+
+
+def tdma_supply(scheduler: TdmaScheduler, partition: str
+                ) -> Callable[[int], int]:
+    """Supply bound function of one partition of a TDMA schedule.
+
+    Computed exactly by sliding the interval start over every phase at
+    which supply can be minimal (window edges) across one major frame.
+    """
+    windows = [w for w in scheduler.windows if w.partition == partition]
+    if not windows:
+        raise AnalysisError(f"partition {partition!r} owns no window")
+    frame = scheduler.major_frame
+
+    def supplied(start: int, length: int) -> int:
+        """CPU time granted in [start, start+length) (absolute phase)."""
+        total = 0
+        first_frame = start // frame
+        last_frame = (start + length) // frame
+        for k in range(first_frame, last_frame + 1):
+            base = k * frame
+            for window in windows:
+                lo = max(start, base + window.start)
+                hi = min(start + length, base + window.end)
+                if hi > lo:
+                    total += hi - lo
+        return total
+
+    candidate_phases = sorted({w.end % frame for w in windows}
+                              | {w.start % frame for w in windows})
+
+    def sbf(t: int) -> int:
+        if t <= 0:
+            return 0
+        return min(supplied(phase, t) for phase in candidate_phases)
+
+    return sbf
+
+
+def periodic_server_supply(budget: int, period: int
+                           ) -> Callable[[int], int]:
+    """Classic sbf of a periodic/deferrable server ``(Q, P)``:
+
+        sbf(t) = max(0, floor((t - (P - Q)) / P) * Q
+                     + min(Q, (t - (P - Q)) mod P ... ))
+
+    implemented in the standard piecewise linear form with the worst-case
+    initial blackout of ``2(P - Q)``.
+    """
+    if not 0 < budget <= period:
+        raise AnalysisError("need 0 < budget <= period")
+    blackout = 2 * (period - budget)
+
+    def sbf(t: int) -> int:
+        if t <= blackout:
+            return 0
+        remaining = t - blackout
+        full = remaining // period
+        partial = min(budget, remaining - full * period)
+        return full * budget + partial
+
+    return sbf
+
+
+def response_bound(demand: int, sbf: Callable[[int], int],
+                   horizon: int) -> int:
+    """Smallest ``t <= horizon`` with ``sbf(t) >= demand``.
+
+    Binary search over the (non-decreasing) supply function.
+    """
+    if demand <= 0:
+        raise AnalysisError("demand must be > 0")
+    if sbf(horizon) < demand:
+        raise AnalysisError(
+            f"demand {demand} not supplied within horizon {horizon}")
+    lo, hi = 1, horizon
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sbf(mid) >= demand:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def tdma_response_bound(scheduler: TdmaScheduler, partition: str,
+                        demand: int) -> int:
+    """WCRT of a demand of ``demand`` ns inside a TDMA partition
+    (single task or highest-priority task of the partition)."""
+    windows = [w for w in scheduler.windows if w.partition == partition]
+    if not windows:
+        raise AnalysisError(f"partition {partition!r} owns no window")
+    capacity_per_frame = sum(w.length for w in windows)
+    frames_needed = -(-demand // capacity_per_frame) + 2
+    horizon = frames_needed * scheduler.major_frame
+    return response_bound(demand, tdma_supply(scheduler, partition),
+                          horizon)
+
+
+def server_response_bound(budget: int, period: int, demand: int) -> int:
+    """WCRT of a demand served by a deferrable server ``(Q, P)``."""
+    frames_needed = -(-demand // budget) + 3
+    horizon = frames_needed * period + 2 * period
+    return response_bound(demand, periodic_server_supply(budget, period),
+                          horizon)

@@ -1,0 +1,147 @@
+"""Time-triggered schedule synthesis.
+
+Building a TT schedule means placing periodic slots ``(offset, duration,
+period)`` on a shared timeline so that no two occurrences ever overlap.
+Two periodic slots are conflict-free iff, with ``g = gcd(T1, T2)``:
+
+    d1 <= (o2 - o1) mod g   and   d2 <= (o1 - o2) mod g
+
+(the classic single-resource periodic non-overlap condition).  The
+synthesizer places entries first-fit by scanning offsets; an optional
+*reserved window* keeps part of every base period free for future
+extension — the "optimize resource availability against future changes"
+planning the paper attributes to time-triggered architectures
+(experiment E8 measures what the reservation buys).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AnalysisError, SchedulingError
+
+
+@dataclass(frozen=True)
+class TtEntry:
+    """A request: give ``name`` a slot of ``duration`` every ``period``."""
+
+    name: str
+    period: int
+    duration: int
+
+    def __post_init__(self):
+        if self.period <= 0 or self.duration <= 0:
+            raise AnalysisError(
+                f"entry {self.name}: period and duration must be > 0")
+        if self.duration > self.period:
+            raise AnalysisError(
+                f"entry {self.name}: duration exceeds period")
+
+
+@dataclass(frozen=True)
+class TtPlacement:
+    """A placed slot: entry parameters plus the chosen offset."""
+    name: str
+    period: int
+    duration: int
+    offset: int
+
+
+def conflict_free(a: TtPlacement, b: TtPlacement) -> bool:
+    """Exact periodic non-overlap test."""
+    g = math.gcd(a.period, b.period)
+    da = (b.offset - a.offset) % g
+    db = (a.offset - b.offset) % g
+    return a.duration <= da and b.duration <= db
+
+
+class TtSchedule:
+    """A set of non-overlapping periodic placements."""
+
+    def __init__(self, reserved: Optional[tuple[int, int, int]] = None):
+        """``reserved`` = (offset, duration, period): a window kept free
+        for future tasks (modelled as a phantom placement)."""
+        self.placements: list[TtPlacement] = []
+        self.reserved = None
+        if reserved is not None:
+            offset, duration, period = reserved
+            self.reserved = TtPlacement("__reserved__", period, duration,
+                                        offset)
+
+    def _obstacles(self, include_reserved: bool) -> list[TtPlacement]:
+        obstacles = list(self.placements)
+        if include_reserved and self.reserved is not None:
+            obstacles.append(self.reserved)
+        return obstacles
+
+    def fits(self, candidate: TtPlacement,
+             respect_reservation: bool = True) -> bool:
+        """Whether a candidate placement conflicts with nothing placed."""
+        return all(conflict_free(candidate, existing)
+                   for existing in self._obstacles(respect_reservation))
+
+    def place(self, entry: TtEntry, respect_reservation: bool = True,
+              step: int = 1) -> TtPlacement:
+        """First-fit placement; raises :class:`SchedulingError` when no
+        offset works."""
+        for offset in range(0, entry.period, step):
+            candidate = TtPlacement(entry.name, entry.period,
+                                    entry.duration, offset)
+            if self.fits(candidate, respect_reservation):
+                self.placements.append(candidate)
+                return candidate
+        raise SchedulingError(
+            f"no feasible offset for {entry.name} "
+            f"({entry.duration}/{entry.period})")
+
+    def try_place(self, entry: TtEntry, respect_reservation: bool = True,
+                  step: int = 1) -> Optional[TtPlacement]:
+        """Like :meth:`place` but returns None instead of raising."""
+        try:
+            return self.place(entry, respect_reservation, step)
+        except SchedulingError:
+            return None
+
+    def remove(self, name: str) -> None:
+        """Remove all placements with the given name."""
+        self.placements = [p for p in self.placements if p.name != name]
+
+    def utilization(self) -> float:
+        """Total fraction of the timeline the placements occupy."""
+        return sum(p.duration / p.period for p in self.placements)
+
+    def hyperperiod(self) -> int:
+        """Least common multiple of all placed periods."""
+        result = 1
+        for placement in self.placements:
+            result = result * placement.period // math.gcd(result,
+                                                           placement.period)
+        return result
+
+    def verify(self) -> None:
+        """Re-check the pairwise invariant (defence in depth; raises on
+        violation)."""
+        for i, a in enumerate(self.placements):
+            for b in self.placements[i + 1:]:
+                if not conflict_free(a, b):
+                    raise SchedulingError(
+                        f"placements {a.name} and {b.name} overlap")
+
+    def __repr__(self) -> str:
+        return (f"<TtSchedule {len(self.placements)} placements "
+                f"u={self.utilization():.3f}>")
+
+
+def build_schedule(entries: list[TtEntry],
+                   reserved: Optional[tuple[int, int, int]] = None,
+                   step: int = 1) -> TtSchedule:
+    """Place all entries (longest-duration first — better first-fit
+    packing) on a fresh schedule."""
+    schedule = TtSchedule(reserved)
+    for entry in sorted(entries, key=lambda e: (-e.duration, e.period,
+                                                e.name)):
+        schedule.place(entry, step=step)
+    schedule.verify()
+    return schedule

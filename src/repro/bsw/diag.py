@@ -1,0 +1,82 @@
+"""Diagnostics services (Figure 1's "Diagnostics" box).
+
+A small UDS-flavoured service dispatcher backed by the error manager's
+diagnostic memory:
+
+* ``0x19`` read DTC information (confirmed and stored);
+* ``0x14`` clear diagnostic information;
+* ``0x22`` read data by identifier (freeze frames and live values).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.bsw.errors import ErrorManager
+
+READ_DTC = 0x19
+CLEAR_DTC = 0x14
+READ_DATA = 0x22
+
+NEGATIVE_RESPONSE = 0x7F
+NRC_SERVICE_NOT_SUPPORTED = 0x11
+NRC_REQUEST_OUT_OF_RANGE = 0x31
+
+
+class DiagnosticServer:
+    """Per-ECU diagnostic responder."""
+
+    def __init__(self, error_manager: ErrorManager):
+        self.dem = error_manager
+        self._data_ids: dict[int, Callable[[], int]] = {}
+        self.request_count = 0
+
+    def publish_data(self, identifier: int,
+                     reader: Callable[[], int]) -> None:
+        """Expose a live value under a data identifier (0x22)."""
+        if identifier in self._data_ids:
+            raise ConfigurationError(
+                f"data identifier {identifier:#x} already published")
+        self._data_ids[identifier] = reader
+
+    def handle(self, service: int, *args) -> dict:
+        """Dispatch one request; returns a response dict.
+
+        Positive responses carry ``service + 0x40``; negative responses
+        mirror the UDS 0x7F format.
+        """
+        self.request_count += 1
+        if service == READ_DTC:
+            return {
+                "service": service + 0x40,
+                "dtcs": self.dem.stored_dtcs(),
+                "confirmed": sorted(e.dtc
+                                    for e in self.dem.confirmed_events()),
+            }
+        if service == CLEAR_DTC:
+            cleared = self.dem.clear_dtcs()
+            return {"service": service + 0x40, "cleared": cleared}
+        if service == READ_DATA:
+            if not args:
+                return self._negative(service, NRC_REQUEST_OUT_OF_RANGE)
+            identifier = args[0]
+            reader = self._data_ids.get(identifier)
+            if reader is None:
+                return self._negative(service, NRC_REQUEST_OUT_OF_RANGE)
+            return {"service": service + 0x40, "identifier": identifier,
+                    "value": reader()}
+        return self._negative(service, NRC_SERVICE_NOT_SUPPORTED)
+
+    @staticmethod
+    def _negative(service: int, nrc: int) -> dict:
+        return {"service": NEGATIVE_RESPONSE, "rejected": service,
+                "nrc": nrc}
+
+    def freeze_frame(self, event_name: str) -> Optional[dict]:
+        """Freeze frame captured when the event last confirmed."""
+        return self.dem.event(event_name).freeze_frame
+
+    def __repr__(self) -> str:
+        return (f"<DiagnosticServer {self.dem.node} "
+                f"data_ids={len(self._data_ids)}>")

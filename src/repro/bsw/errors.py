@@ -1,0 +1,136 @@
+"""Error handling service (DEM-like).
+
+"A consistent and non ambiguous error handling supports effective
+communication to application layer functionality and can also be used as
+a means for mode management and diagnostic purposes.  Use cases include
+broken sensors, communication errors and memory failures" (Section 2).
+
+:class:`ErrorManager` receives PASSED/FAILED reports from detectors
+(COM timeouts, sensor plausibility checks, NVRAM CRC errors …), debounces
+them with per-event counters, latches confirmed errors as DTCs with
+freeze frames, and notifies listeners — which typically request degraded
+modes or diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+
+PASSED = "passed"
+FAILED = "failed"
+
+#: Use-case severities from the paper's examples.
+SEVERITY_LOW = 1
+SEVERITY_MEDIUM = 2
+SEVERITY_HIGH = 3
+
+
+@dataclass
+class ErrorEvent:
+    """One monitored error condition."""
+
+    name: str
+    dtc: int
+    severity: int = SEVERITY_MEDIUM
+    #: debounce: counter moves +fail_step on FAILED, -pass_step on
+    #: PASSED; confirmed at >= threshold, healed at <= 0.
+    threshold: int = 3
+    fail_step: int = 1
+    pass_step: int = 1
+    counter: int = 0
+    confirmed: bool = False
+    occurrences: int = 0
+    freeze_frame: Optional[dict] = None
+
+    def __post_init__(self):
+        if self.threshold <= 0 or self.fail_step <= 0 or self.pass_step <= 0:
+            raise ConfigurationError(
+                f"event {self.name}: debounce parameters must be > 0")
+
+
+class ErrorManager:
+    """Per-ECU error manager."""
+
+    def __init__(self, node: str, trace: Optional[Trace] = None,
+                 now: Optional[Callable[[], int]] = None):
+        self.node = node
+        self.trace = trace if trace is not None else Trace()
+        self._now = now if now is not None else (lambda: 0)
+        self._events: dict[str, ErrorEvent] = {}
+        self._listeners: list[Callable[[ErrorEvent, bool], None]] = []
+
+    def register(self, event: ErrorEvent) -> ErrorEvent:
+        """Declare a monitored error event; returns it for convenience."""
+        if event.name in self._events:
+            raise ConfigurationError(
+                f"{self.node}: duplicate error event {event.name!r}")
+        self._events[event.name] = event
+        return event
+
+    def on_status_change(self,
+                         listener: Callable[[ErrorEvent, bool], None]
+                         ) -> None:
+        """Listener called with (event, confirmed) on confirm and heal."""
+        self._listeners.append(listener)
+
+    def report(self, name: str, status: str,
+               context: Optional[dict] = None) -> None:
+        """Report a monitor result (PASSED/FAILED) for an event."""
+        event = self._events.get(name)
+        if event is None:
+            raise ConfigurationError(
+                f"{self.node}: unknown error event {name!r}")
+        if status == FAILED:
+            event.counter = min(event.threshold,
+                                event.counter + event.fail_step)
+        elif status == PASSED:
+            event.counter = max(0, event.counter - event.pass_step)
+        else:
+            raise ConfigurationError(f"unknown status {status!r}")
+        if not event.confirmed and event.counter >= event.threshold:
+            event.confirmed = True
+            event.occurrences += 1
+            event.freeze_frame = dict(context or {},
+                                      time=self._now())
+            self.trace.log(self._now(), "dem.confirmed", name,
+                           dtc=event.dtc)
+            for listener in self._listeners:
+                listener(event, True)
+        elif event.confirmed and event.counter <= 0:
+            event.confirmed = False
+            self.trace.log(self._now(), "dem.healed", name, dtc=event.dtc)
+            for listener in self._listeners:
+                listener(event, False)
+
+    # ------------------------------------------------------------------
+    def event(self, name: str) -> ErrorEvent:
+        """Look up a registered event by name."""
+        return self._events[name]
+
+    def confirmed_events(self) -> list[ErrorEvent]:
+        """Events currently in the confirmed (debounced-failed) state."""
+        return [e for e in self._events.values() if e.confirmed]
+
+    def stored_dtcs(self) -> list[int]:
+        """DTCs with at least one confirmed occurrence (diagnostic
+        memory: survives healing until cleared)."""
+        return sorted(e.dtc for e in self._events.values()
+                      if e.occurrences > 0)
+
+    def clear_dtcs(self) -> int:
+        """Diagnostic clear: resets occurrence memory; returns count."""
+        cleared = 0
+        for event in self._events.values():
+            if event.occurrences > 0:
+                cleared += 1
+            event.occurrences = 0
+            event.freeze_frame = None
+        return cleared
+
+    def __repr__(self) -> str:
+        return (f"<ErrorManager {self.node} events={len(self._events)} "
+                f"confirmed={len(self.confirmed_events())}>")

@@ -1,0 +1,97 @@
+"""Mode management.
+
+AUTOSAR's error-handling concept "can also be used as a means for mode
+management" (Section 2): degraded operating modes are entered when error
+reactions demand it.  A :class:`ModeMachine` is a guarded state machine
+with entry/exit notifications; mode *users* (tasks, COM, monitors)
+subscribe to switches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+
+
+class ModeMachine:
+    """A named mode state machine with declared transitions."""
+
+    def __init__(self, name: str, modes: list[str], initial: str,
+                 trace: Optional[Trace] = None):
+        if not modes:
+            raise ConfigurationError(f"{name}: needs at least one mode")
+        if len(set(modes)) != len(modes):
+            raise ConfigurationError(f"{name}: duplicate modes")
+        if initial not in modes:
+            raise ConfigurationError(
+                f"{name}: initial mode {initial!r} not declared")
+        self.name = name
+        self.modes = list(modes)
+        self.current = initial
+        self.trace = trace if trace is not None else Trace()
+        self._transitions: set[tuple[str, str]] = set()
+        self._on_entry: dict[str, list[Callable]] = {m: [] for m in modes}
+        self._on_exit: dict[str, list[Callable]] = {m: [] for m in modes}
+        self._history: list[tuple[int, str]] = [(0, initial)]
+        self._now = lambda: 0
+
+    def bind_clock(self, now: Callable[[], int]) -> None:
+        """Attach a time source (e.g. ``lambda: sim.now``) for history
+        timestamps."""
+        self._now = now
+
+    def allow(self, source: str, target: str) -> None:
+        """Declare a legal transition."""
+        for mode in (source, target):
+            if mode not in self.modes:
+                raise ConfigurationError(
+                    f"{self.name}: unknown mode {mode!r}")
+        self._transitions.add((source, target))
+
+    def allow_chain(self, *modes: str) -> None:
+        """Declare transitions along a degradation chain
+        (``a -> b -> c``)."""
+        for source, target in zip(modes, modes[1:]):
+            self.allow(source, target)
+
+    def on_entry(self, mode: str, callback: Callable[[], None]) -> None:
+        """Register a callback fired when `mode` is entered."""
+        self._on_entry[mode].append(callback)
+
+    def on_exit(self, mode: str, callback: Callable[[], None]) -> None:
+        """Register a callback fired when `mode` is left."""
+        self._on_exit[mode].append(callback)
+
+    def can_switch(self, target: str) -> bool:
+        """Whether a transition from the current mode to `target` is declared."""
+        return (self.current, target) in self._transitions
+
+    def request(self, target: str) -> bool:
+        """Request a mode switch; returns False when the transition is
+        not declared (request denied, logged)."""
+        if target == self.current:
+            return True
+        if not self.can_switch(target):
+            self.trace.log(self._now(), "mode.denied", self.name,
+                           source=self.current, target=target)
+            return False
+        source = self.current
+        for callback in self._on_exit[source]:
+            callback()
+        self.current = target
+        self._history.append((self._now(), target))
+        self.trace.log(self._now(), "mode.switch", self.name,
+                       source=source, target=target)
+        for callback in self._on_entry[target]:
+            callback()
+        return True
+
+    @property
+    def history(self) -> list[tuple[int, str]]:
+        """Chronological (time, mode) list, starting with the initial mode."""
+        return list(self._history)
+
+    def __repr__(self) -> str:
+        return f"<ModeMachine {self.name} current={self.current}>"

@@ -1,0 +1,118 @@
+"""Network management: coordinated bus sleep/wake.
+
+Figure 1's "Network Management" box.  Simplified direct NM: every awake
+node broadcasts an alive message each NM cycle; a node that wants to
+sleep stops requesting the network and keeps listening — the *bus*
+sleeps only when no alive message has been heard for a timeout (every
+node released the network).  Any node can wake the cluster again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+AWAKE = "awake"
+READY_TO_SLEEP = "ready-to-sleep"
+BUS_SLEEP = "bus-sleep"
+
+
+class NmNode:
+    """Per-node network management state machine."""
+
+    def __init__(self, cluster: "NmCluster", name: str):
+        self.cluster = cluster
+        self.name = name
+        self.state = AWAKE
+        self.network_requested = True
+
+    def release_network(self) -> None:
+        """Application no longer needs the bus."""
+        self.network_requested = False
+        if self.state == AWAKE:
+            self.state = READY_TO_SLEEP
+
+    def request_network(self) -> None:
+        """Application needs the bus; wakes the whole cluster."""
+        self.network_requested = True
+        self.cluster._wake(self.name)
+
+    def __repr__(self) -> str:
+        return f"<NmNode {self.name} {self.state}>"
+
+
+class NmCluster:
+    """The shared NM view of one bus."""
+
+    def __init__(self, sim: Simulator, node_names: list[str],
+                 nm_cycle: int, sleep_timeout: int,
+                 trace: Optional[Trace] = None, name: str = "NM"):
+        if len(node_names) != len(set(node_names)) or not node_names:
+            raise ConfigurationError("need unique, non-empty node names")
+        if nm_cycle <= 0 or sleep_timeout <= nm_cycle:
+            raise ConfigurationError(
+                "need nm_cycle > 0 and sleep_timeout > nm_cycle")
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.name = name
+        self.nm_cycle = nm_cycle
+        self.sleep_timeout = sleep_timeout
+        self.nodes = {n: NmNode(self, n) for n in node_names}
+        self.bus_asleep = False
+        self.alive_messages = 0
+        self._last_alive = 0
+        self.wake_count = 0
+        self._tick()
+        self._watch_sleep()
+
+    def _tick(self) -> None:
+        def fire():
+            if not self.bus_asleep:
+                for node in self.nodes.values():
+                    if node.network_requested:
+                        self.alive_messages += 1
+                        self._last_alive = self.sim.now
+            self.sim.schedule(self.nm_cycle, fire)
+
+        self.sim.schedule(self.nm_cycle, fire)
+
+    def _watch_sleep(self) -> None:
+        def check():
+            if (not self.bus_asleep
+                    and self.sim.now - self._last_alive
+                    >= self.sleep_timeout
+                    and not any(n.network_requested
+                                for n in self.nodes.values())):
+                self.bus_asleep = True
+                for node in self.nodes.values():
+                    node.state = BUS_SLEEP
+                self.trace.log(self.sim.now, "nm.bus_sleep", self.name)
+            self.sim.schedule(self.nm_cycle, check)
+
+        self.sim.schedule(self.nm_cycle, check)
+
+    def _wake(self, requester: str) -> None:
+        if self.bus_asleep:
+            self.bus_asleep = False
+            self.wake_count += 1
+            self.trace.log(self.sim.now, "nm.wakeup", self.name,
+                           requester=requester)
+        for node in self.nodes.values():
+            if node.network_requested:
+                node.state = AWAKE
+            elif node.state == BUS_SLEEP:
+                node.state = READY_TO_SLEEP
+
+    def node(self, name: str) -> NmNode:
+        """Look up a node's NM state machine by name."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise ConfigurationError(f"{self.name}: unknown node {name!r}")
+        return node
+
+    def __repr__(self) -> str:
+        state = "asleep" if self.bus_asleep else "awake"
+        return f"<NmCluster {self.name} {state} nodes={len(self.nodes)}>"

@@ -1,0 +1,133 @@
+"""NVRAM manager: memory services with failure detection.
+
+Models the "Memory Services" box of Figure 1 and the "memory failures"
+error-handling use case: blocks are stored with a CRC and an optional
+redundant copy; reads detect corruption, recover from the mirror when
+possible, and report the failure to the error manager otherwise.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class NvBlock:
+    """One NVRAM block: payload + CRC (+ optional mirror)."""
+
+    def __init__(self, name: str, size: int, redundant: bool = False,
+                 default: bytes = b""):
+        if size <= 0:
+            raise ConfigurationError(f"block {name}: size must be > 0")
+        if len(default) > size:
+            raise ConfigurationError(f"block {name}: default exceeds size")
+        self.name = name
+        self.size = size
+        self.redundant = redundant
+        self.default = default.ljust(size, b"\x00")
+        self._primary = bytearray(self.default)
+        self._primary_crc = _crc(self.default)
+        self._mirror = bytearray(self.default) if redundant else None
+        self._mirror_crc = _crc(self.default) if redundant else None
+        self.write_count = 0
+
+    def write(self, data: bytes) -> None:
+        """Store data (padded to the block size) and refresh the CRC(s)."""
+        if len(data) > self.size:
+            raise ConfigurationError(
+                f"block {self.name}: {len(data)} bytes exceed size "
+                f"{self.size}")
+        padded = data.ljust(self.size, b"\x00")
+        self._primary = bytearray(padded)
+        self._primary_crc = _crc(padded)
+        if self.redundant:
+            self._mirror = bytearray(padded)
+            self._mirror_crc = _crc(padded)
+        self.write_count += 1
+
+    def corrupt(self, offset: int = 0, flip: int = 0xFF,
+                mirror: bool = False) -> None:
+        """Fault injection: flip bits in the stored image (not the CRC)."""
+        target = self._mirror if mirror else self._primary
+        if target is None:
+            raise ConfigurationError(
+                f"block {self.name}: no mirror to corrupt")
+        if not 0 <= offset < self.size:
+            raise ConfigurationError(f"block {self.name}: bad offset")
+        target[offset] ^= flip
+
+    def _primary_ok(self) -> bool:
+        return _crc(bytes(self._primary)) == self._primary_crc
+
+    def _mirror_ok(self) -> bool:
+        return (self._mirror is not None
+                and _crc(bytes(self._mirror)) == self._mirror_crc)
+
+
+class NvramManager:
+    """Block registry with read-time integrity checking."""
+
+    def __init__(self, node: str,
+                 on_failure: Optional[Callable[[str, str], None]] = None):
+        """``on_failure(block_name, outcome)`` is called with outcome
+        ``"recovered"`` (mirror saved the day) or ``"lost"`` (defaults
+        restored) — typically wired to
+        :meth:`repro.bsw.errors.ErrorManager.report`."""
+        self.node = node
+        self.on_failure = on_failure
+        self._blocks: dict[str, NvBlock] = {}
+        self.recoveries = 0
+        self.losses = 0
+
+    def define(self, name: str, size: int, redundant: bool = False,
+               default: bytes = b"") -> NvBlock:
+        """Declare a block; returns it for direct manipulation in tests."""
+        if name in self._blocks:
+            raise ConfigurationError(
+                f"{self.node}: duplicate block {name!r}")
+        block = NvBlock(name, size, redundant, default)
+        self._blocks[name] = block
+        return block
+
+    def block(self, name: str) -> NvBlock:
+        """Look up a block by name."""
+        block = self._blocks.get(name)
+        if block is None:
+            raise ConfigurationError(f"{self.node}: unknown block {name!r}")
+        return block
+
+    def write(self, name: str, data: bytes) -> None:
+        """Write a block through the manager."""
+        self.block(name).write(data)
+
+    def read(self, name: str) -> bytes:
+        """Integrity-checked read: primary, else mirror (repairing the
+        primary), else defaults."""
+        block = self.block(name)
+        if block._primary_ok():
+            return bytes(block._primary)
+        if block._mirror_ok():
+            block._primary = bytearray(block._mirror)
+            block._primary_crc = block._mirror_crc
+            self.recoveries += 1
+            if self.on_failure is not None:
+                self.on_failure(name, "recovered")
+            return bytes(block._primary)
+        self.losses += 1
+        block._primary = bytearray(block.default)
+        block._primary_crc = _crc(block.default)
+        if block.redundant:
+            block._mirror = bytearray(block.default)
+            block._mirror_crc = block._primary_crc
+        if self.on_failure is not None:
+            self.on_failure(name, "lost")
+        return bytes(block.default)
+
+    def __repr__(self) -> str:
+        return f"<NvramManager {self.node} blocks={len(self._blocks)}>"

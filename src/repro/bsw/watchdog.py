@@ -1,0 +1,123 @@
+"""Watchdog manager: alive supervision of tasks.
+
+Each supervised entity must check in ("kick") at least once per
+supervision window; a missed window raises the configured reaction —
+the standard last line of defence against crashed or livelocked software,
+complementing the OS-level execution budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+
+class SupervisedEntity:
+    """Supervision state of one monitored entity."""
+    def __init__(self, name: str, window: int, tolerance: int = 0):
+        if window <= 0:
+            raise ConfigurationError(
+                f"entity {name}: window must be > 0")
+        if tolerance < 0:
+            raise ConfigurationError(
+                f"entity {name}: tolerance must be >= 0")
+        self.name = name
+        self.window = window
+        #: missed windows tolerated before the reaction fires.
+        self.tolerance = tolerance
+        self.kicks_in_window = 0
+        self.missed_windows = 0
+        self.violated = False
+
+
+class WatchdogManager:
+    """Windowed alive supervision."""
+
+    def __init__(self, sim: Simulator, trace: Optional[Trace] = None,
+                 on_violation: Optional[Callable[[str], None]] = None,
+                 name: str = "WDG"):
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.on_violation = on_violation
+        self.name = name
+        self._entities: dict[str, SupervisedEntity] = {}
+
+    def supervise(self, entity_name: str, window: int,
+                  tolerance: int = 0) -> SupervisedEntity:
+        """Start windowed supervision of a named entity."""
+        if entity_name in self._entities:
+            raise ConfigurationError(
+                f"{self.name}: entity {entity_name!r} already supervised")
+        entity = SupervisedEntity(entity_name, window, tolerance)
+        self._entities[entity_name] = entity
+        self._schedule_check(entity)
+        return entity
+
+    def kick(self, entity_name: str) -> None:
+        """Alive indication from the supervised software."""
+        entity = self._require(entity_name)
+        entity.kicks_in_window += 1
+
+    def _schedule_check(self, entity: SupervisedEntity) -> None:
+        def check():
+            if entity.violated:
+                return
+            if entity.kicks_in_window == 0:
+                entity.missed_windows += 1
+                self.trace.log(self.sim.now, "wdg.missed", entity.name,
+                               missed=entity.missed_windows)
+                if entity.missed_windows > entity.tolerance:
+                    entity.violated = True
+                    self.trace.log(self.sim.now, "wdg.violation",
+                                   entity.name)
+                    if self.on_violation is not None:
+                        self.on_violation(entity.name)
+                    return
+            else:
+                entity.missed_windows = 0
+            entity.kicks_in_window = 0
+            self._schedule_check(entity)
+
+        self.sim.schedule(entity.window, check)
+
+    def _require(self, entity_name: str) -> SupervisedEntity:
+        entity = self._entities.get(entity_name)
+        if entity is None:
+            raise ConfigurationError(
+                f"{self.name}: unknown entity {entity_name!r}")
+        return entity
+
+    def status(self, entity_name: str) -> dict:
+        """Current supervision verdict for an entity."""
+        entity = self._require(entity_name)
+        return {"violated": entity.violated,
+                "missed_windows": entity.missed_windows}
+
+    def supervise_task(self, kernel, task_name: str, window: int,
+                       tolerance: int = 0) -> SupervisedEntity:
+        """Supervise an OS task: each completion counts as a kick.
+
+        The hook chains onto any existing ``on_complete`` (the RTE's
+        runnable execution keeps working), so a crashed, killed or
+        starved task shows up as missed windows.
+        """
+        task = kernel.tasks.get(task_name)
+        if task is None:
+            raise ConfigurationError(
+                f"{self.name}: kernel has no task {task_name!r}")
+        entity = self.supervise(task_name, window, tolerance)
+        previous = task.on_complete
+
+        def kicked(job):
+            if previous is not None:
+                previous(job)
+            self.kick(task_name)
+
+        task.on_complete = kicked
+        return entity
+
+    def __repr__(self) -> str:
+        return f"<WatchdogManager {self.name} entities={len(self._entities)}>"

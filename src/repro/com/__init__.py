@@ -1,0 +1,18 @@
+"""COM services: signals, I-PDUs, packing, and the per-node COM stack."""
+
+from repro.com.com import (CanComAdapter, ComStack, DIRECT, FlexRayComAdapter,
+                           MIXED, PERIODIC, TteComAdapter, TxPdu)
+from repro.com.ipdu import IPdu, SignalMapping, pack_sequentially
+from repro.com.packing import (PackableSignal, PackedFrame,
+                               pack_signals, packing_bandwidth_bps,
+                               unpacked_bandwidth_bps)
+from repro.com.signal import PENDING, SignalSpec, SignalValue, TRIGGERED
+
+__all__ = [
+    "CanComAdapter", "ComStack", "DIRECT", "FlexRayComAdapter", "MIXED",
+    "PERIODIC", "TteComAdapter", "TxPdu",
+    "IPdu", "SignalMapping", "pack_sequentially",
+    "PackableSignal", "PackedFrame", "pack_signals",
+    "packing_bandwidth_bps", "unpacked_bandwidth_bps",
+    "PENDING", "SignalSpec", "SignalValue", "TRIGGERED",
+]

@@ -1,0 +1,152 @@
+"""I-PDUs: bit-exact packing of signals into frame payloads.
+
+An :class:`IPdu` maps signals to bit positions within a payload of up to 8
+bytes (CAN) or larger (FlexRay).  Packing is little-endian bit order: bit
+``i`` of the payload integer is bit ``i % 8`` of byte ``i // 8``.  Optional
+per-signal *update bits* let a receiver distinguish fresh data from
+repeated background transmission.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.com.signal import SignalSpec
+
+
+class SignalMapping:
+    """Placement of one signal (and optionally its update bit) in a PDU."""
+
+    def __init__(self, spec: SignalSpec, start_bit: int,
+                 update_bit: Optional[int] = None):
+        if start_bit < 0:
+            raise ConfigurationError(
+                f"signal {spec.name}: negative start bit")
+        self.spec = spec
+        self.start_bit = start_bit
+        self.update_bit = update_bit
+
+    @property
+    def end_bit(self) -> int:
+        """One past the last payload bit used (excluding the update bit)."""
+        return self.start_bit + self.spec.width_bits
+
+    def bits_used(self) -> set[int]:
+        """Set of payload bit positions this mapping occupies."""
+        bits = set(range(self.start_bit, self.end_bit))
+        if self.update_bit is not None:
+            bits.add(self.update_bit)
+        return bits
+
+    def __repr__(self) -> str:
+        return f"<SignalMapping {self.spec.name}@{self.start_bit}>"
+
+
+class IPdu:
+    """A packed protocol data unit."""
+
+    def __init__(self, name: str, size_bytes: int,
+                 mappings: Optional[list[SignalMapping]] = None):
+        if size_bytes <= 0:
+            raise ConfigurationError(f"ipdu {name}: size must be > 0")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.mappings: list[SignalMapping] = []
+        for mapping in (mappings or []):
+            self.add(mapping)
+
+    def add(self, mapping: SignalMapping) -> None:
+        """Add a signal mapping, rejecting overlap and overflow."""
+        limit = self.size_bytes * 8
+        if mapping.end_bit > limit or (mapping.update_bit is not None
+                                       and mapping.update_bit >= limit):
+            raise ConfigurationError(
+                f"ipdu {self.name}: signal {mapping.spec.name} exceeds "
+                f"{self.size_bytes} bytes")
+        new_bits = mapping.bits_used()
+        for existing in self.mappings:
+            clash = existing.bits_used() & new_bits
+            if clash:
+                raise ConfigurationError(
+                    f"ipdu {self.name}: {mapping.spec.name} overlaps "
+                    f"{existing.spec.name} at bits {sorted(clash)[:4]}")
+        if any(m.spec.name == mapping.spec.name for m in self.mappings):
+            raise ConfigurationError(
+                f"ipdu {self.name}: duplicate signal {mapping.spec.name}")
+        self.mappings.append(mapping)
+
+    def signal_names(self) -> list[str]:
+        """Names of the mapped signals, in mapping order."""
+        return [m.spec.name for m in self.mappings]
+
+    def mapping_of(self, signal_name: str) -> SignalMapping:
+        """Mapping of a signal by name (KeyError when absent)."""
+        for mapping in self.mappings:
+            if mapping.spec.name == signal_name:
+                return mapping
+        raise KeyError(f"ipdu {self.name}: no signal {signal_name!r}")
+
+    @property
+    def bits_free(self) -> int:
+        """Unoccupied payload bits remaining in the PDU."""
+        used = set()
+        for mapping in self.mappings:
+            used |= mapping.bits_used()
+        return self.size_bytes * 8 - len(used)
+
+    # ------------------------------------------------------------------
+    def pack(self, values: dict[str, int],
+             updated: Optional[set[str]] = None) -> int:
+        """Encode signal values into the payload integer.
+
+        ``updated`` names the signals whose update bit should be set
+        (ignored for mappings without one).
+        """
+        payload = 0
+        for mapping in self.mappings:
+            value = values.get(mapping.spec.name, mapping.spec.initial)
+            mapping.spec._check_range(value)
+            payload |= value << mapping.start_bit
+            if mapping.update_bit is not None and updated is not None \
+                    and mapping.spec.name in updated:
+                payload |= 1 << mapping.update_bit
+        return payload
+
+    def unpack(self, payload: int) -> dict[str, dict]:
+        """Decode the payload: ``{signal: {"value": v, "updated": bool}}``.
+
+        Signals without an update bit are always reported updated.
+        """
+        out = {}
+        for mapping in self.mappings:
+            mask = (1 << mapping.spec.width_bits) - 1
+            value = (payload >> mapping.start_bit) & mask
+            if mapping.update_bit is not None:
+                fresh = bool((payload >> mapping.update_bit) & 1)
+            else:
+                fresh = True
+            out[mapping.spec.name] = {"value": value, "updated": fresh}
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<IPdu {self.name} {self.size_bytes}B "
+                f"signals={self.signal_names()}>")
+
+
+def pack_sequentially(name: str, size_bytes: int, specs: list[SignalSpec],
+                      with_update_bits: bool = False) -> IPdu:
+    """Build an I-PDU by laying signals out back-to-back.
+
+    With ``with_update_bits`` each signal is followed by its update bit.
+    Raises when the signals do not fit.
+    """
+    pdu = IPdu(name, size_bytes)
+    bit = 0
+    for spec in specs:
+        update_bit = None
+        if with_update_bits:
+            update_bit = bit + spec.width_bits
+        pdu.add(SignalMapping(spec, bit, update_bit))
+        bit += spec.width_bits + (1 if with_update_bits else 0)
+    return pdu

@@ -1,0 +1,81 @@
+"""COM signals: the unit of application data on the network.
+
+A :class:`SignalSpec` describes width, initial value and transfer property
+(AUTOSAR COM vocabulary): ``TRIGGERED`` signals cause immediate transmission
+of their I-PDU when written, ``PENDING`` signals ride along with the PDU's
+periodic transmission.  :class:`SignalValue` is the runtime store with an
+update flag used for update-bit handling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+TRIGGERED = "triggered"
+PENDING = "pending"
+
+
+class SignalSpec:
+    """Static description of one signal."""
+
+    def __init__(self, name: str, width_bits: int, initial: int = 0,
+                 transfer: str = PENDING, timeout: Optional[int] = None):
+        if width_bits <= 0 or width_bits > 64:
+            raise ConfigurationError(
+                f"signal {name}: width must be 1..64 bits")
+        if transfer not in (TRIGGERED, PENDING):
+            raise ConfigurationError(
+                f"signal {name}: unknown transfer property {transfer!r}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"signal {name}: timeout must be > 0")
+        self.name = name
+        self.width_bits = width_bits
+        self.initial = initial
+        self.transfer = transfer
+        self.timeout = timeout
+        self._check_range(initial)
+
+    @property
+    def max_value(self) -> int:
+        """Largest raw value the signal's width can carry."""
+        return (1 << self.width_bits) - 1
+
+    def _check_range(self, value: int) -> None:
+        if not isinstance(value, int):
+            raise ConfigurationError(
+                f"signal {self.name}: value must be int, got {type(value)}")
+        if not 0 <= value <= self.max_value:
+            raise ConfigurationError(
+                f"signal {self.name}: value {value} exceeds "
+                f"{self.width_bits} bits")
+
+    def __repr__(self) -> str:
+        return f"<SignalSpec {self.name} {self.width_bits}b {self.transfer}>"
+
+
+class SignalValue:
+    """Runtime value of a signal plus freshness bookkeeping."""
+
+    def __init__(self, spec: SignalSpec):
+        self.spec = spec
+        self.value = spec.initial
+        self.updated = False
+        self.last_update: Optional[int] = None
+        self.last_reception: Optional[int] = None
+
+    def write(self, value: int, now: int) -> None:
+        """Set the value, marking the signal updated (transmit side)."""
+        self.spec._check_range(value)
+        self.value = value
+        self.updated = True
+        self.last_update = now
+
+    def consume_update(self) -> bool:
+        """Return and clear the update flag (transmit-side update bit)."""
+        updated, self.updated = self.updated, False
+        return updated
+
+    def __repr__(self) -> str:
+        return f"<SignalValue {self.spec.name}={self.value}>"

@@ -1,0 +1,31 @@
+"""Rich contract-based interface specifications (paper Section 3)."""
+
+from repro.contracts.compatibility import (CompatibilityResult,
+                                           check_composition_contracts,
+                                           check_contract_flow,
+                                           check_rich_connection)
+from repro.contracts.confidence import (confidence_report, min_confidence,
+                                        product_confidence,
+                                        required_per_assumption)
+from repro.contracts.contract import Contract, Predicate, Var, environments
+from repro.contracts.rich_component import (FUNCTIONAL, RESOURCE,
+                                            RichComponent, SAFETY, TIMING,
+                                            VIEWPOINTS)
+from repro.contracts.vertical import (BUS, COST, CPU, ComplianceReport,
+                                      FAILURE_RATE, LATENCY, MEMORY,
+                                      ResourceOffer, VerticalAssumption,
+                                      WEIGHT, check_compliance,
+                                      weakest_assumptions)
+
+__all__ = [
+    "CompatibilityResult", "check_composition_contracts",
+    "check_contract_flow", "check_rich_connection",
+    "confidence_report", "min_confidence", "product_confidence",
+    "required_per_assumption",
+    "Contract", "Predicate", "Var", "environments",
+    "FUNCTIONAL", "RESOURCE", "RichComponent", "SAFETY", "TIMING",
+    "VIEWPOINTS",
+    "BUS", "COST", "CPU", "ComplianceReport", "FAILURE_RATE", "LATENCY",
+    "MEMORY", "ResourceOffer", "VerticalAssumption", "WEIGHT",
+    "check_compliance", "weakest_assumptions",
+]

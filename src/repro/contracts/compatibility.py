@@ -1,0 +1,130 @@
+"""Contract-level compatibility of connected components.
+
+Static port checking (types, directions) lives in the composition layer;
+this module adds the behavioural check the paper asks for ("interface
+compatibility analysis beyond pure static checking"): along a connector,
+the source's saturated guarantee must establish the target's assumption
+on the variables they share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.contracts.contract import Contract, Var, environments
+from repro.contracts.rich_component import RichComponent
+from repro.errors import ContractError
+
+
+@dataclass
+class CompatibilityResult:
+    """Verdict of one contract-flow check, with counterexample."""
+    ok: bool
+    counterexample: Optional[dict] = None
+    checked_environments: int = 0
+    viewpoint: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_contract_flow(source: Contract, target: Contract,
+                        universe: dict[str, Var]) -> CompatibilityResult:
+    """Does the source's promise establish the target's assumption?
+
+    Checked condition: for every environment, ``A_src and G_src ->
+    A_tgt``.  A counterexample environment is returned on failure.
+    """
+    needed = source.variables | target.assumption.variables
+    missing = needed - set(universe)
+    if missing:
+        raise ContractError(
+            f"no domain declared for variables {sorted(missing)}")
+    variables = [universe[name] for name in sorted(needed)]
+    count = 0
+    for env in environments(variables):
+        count += 1
+        if (source.assumption(env) and source.guarantee(env)
+                and not target.assumption(env)):
+            return CompatibilityResult(False, dict(env), count)
+    return CompatibilityResult(True, None, count)
+
+
+def check_composition_contracts(composition, rich_of: dict,
+                                universe: dict[str, Var]) -> list[dict]:
+    """Contract-check every sender-receiver connector of a composition.
+
+    ``rich_of`` maps component *type* names to their
+    :class:`RichComponent`.  Connectors whose endpoints both have rich
+    specifications are checked on their shared viewpoints; the result
+    rows carry the connector, viewpoint, verdict and counterexample —
+    the integrator's acceptance report for a supplier delivery.
+    """
+    from repro.core.interface import SenderReceiverInterface
+
+    instances, connectors = composition.flatten()
+    by_name = {i.name: i for i in instances}
+    rows = []
+    for connector in connectors:
+        source_instance = by_name[connector.source.instance]
+        target_instance = by_name[connector.target.instance]
+        port = source_instance.port(connector.source.port)
+        if not isinstance(port.interface, SenderReceiverInterface):
+            continue
+        source_rich = rich_of.get(source_instance.component.name)
+        target_rich = rich_of.get(target_instance.component.name)
+        if source_rich is None or target_rich is None:
+            rows.append({
+                "connector": f"{connector.source} -> {connector.target}",
+                "viewpoint": None,
+                "ok": None,
+                "counterexample": None,
+                "note": "no rich specification on one side",
+            })
+            continue
+        results = check_rich_connection(source_rich, target_rich,
+                                        universe)
+        if not results:
+            rows.append({
+                "connector": f"{connector.source} -> {connector.target}",
+                "viewpoint": None,
+                "ok": None,
+                "counterexample": None,
+                "note": "no shared viewpoints",
+            })
+        for result in results:
+            rows.append({
+                "connector": f"{connector.source} -> {connector.target}",
+                "viewpoint": result.viewpoint,
+                "ok": result.ok,
+                "counterexample": result.counterexample,
+                "note": "",
+            })
+    return rows
+
+
+def check_rich_connection(source: RichComponent, target: RichComponent,
+                          universe: dict[str, Var],
+                          viewpoints: Optional[list[str]] = None
+                          ) -> list[CompatibilityResult]:
+    """Check all shared viewpoints along a connection.
+
+    Viewpoints declared by only one side are skipped (nothing to check);
+    the integrator can require specific viewpoints via ``viewpoints``.
+    """
+    results = []
+    shared = viewpoints if viewpoints is not None else sorted(
+        set(source.contracts) & set(target.contracts))
+    for viewpoint in shared:
+        source_contract = source.contracts.get(viewpoint)
+        target_contract = target.contracts.get(viewpoint)
+        if source_contract is None or target_contract is None:
+            raise ContractError(
+                f"viewpoint {viewpoint!r} missing on "
+                f"{source.name if source_contract is None else target.name}")
+        result = check_contract_flow(source_contract, target_contract,
+                                     universe)
+        result.viewpoint = viewpoint
+        results.append(result)
+    return results

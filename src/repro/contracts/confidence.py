@@ -1,0 +1,62 @@
+"""Confidence aggregation over collections of vertical assumptions.
+
+"System-level analysis [can] be performed up to a degree of confidence
+characterized by the collection of vertical assumptions of system-level
+design units" (Section 3).  Two standard aggregation rules are provided:
+
+* **product** — treats assumption validities as independent events; the
+  system analysis holds with probability ``prod(c_i)``;
+* **min** — the weakest-link view: the analysis is no more credible than
+  its least credible assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ContractError
+from repro.contracts.vertical import VerticalAssumption
+
+
+def product_confidence(assumptions: Iterable[VerticalAssumption]) -> float:
+    """Joint confidence under independence."""
+    result = 1.0
+    for assumption in assumptions:
+        result *= assumption.confidence
+    return result
+
+
+def min_confidence(assumptions: Iterable[VerticalAssumption]) -> float:
+    """Weakest-link confidence (1.0 for an empty collection)."""
+    confidences = [a.confidence for a in assumptions]
+    return min(confidences) if confidences else 1.0
+
+
+def required_per_assumption(target: float, count: int) -> float:
+    """Uniform per-assumption confidence needed so the product rule meets
+    ``target`` over ``count`` assumptions.
+
+    Useful for budgeting: with 50 design units and a 0.9 system target,
+    each vertical assumption must individually reach ~0.9979.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ContractError(f"target must be in (0, 1], got {target}")
+    if count <= 0:
+        raise ContractError(f"count must be > 0, got {count}")
+    return target ** (1.0 / count)
+
+
+def confidence_report(assumptions: list[VerticalAssumption],
+                      target: float = 0.9) -> dict:
+    """Summary used by design reviews: joint confidences, whether the
+    target is met, and the assumptions to strengthen first."""
+    ranked = sorted(assumptions, key=lambda a: a.confidence)
+    joint = product_confidence(assumptions)
+    return {
+        "count": len(assumptions),
+        "product": joint,
+        "min": min_confidence(assumptions),
+        "meets_target": joint >= target,
+        "target": target,
+        "weakest": [(a.owner, a.confidence) for a in ranked[:5]],
+    }

@@ -1,0 +1,196 @@
+"""Assumption/guarantee contracts over finite-domain variables.
+
+The paper's Section 3 proposes contract-based interface specifications
+whose compatibility can be analysed "beyond pure static checking".  The
+substitution we make (documented in DESIGN.md): instead of extended timed
+automata, contracts are predicates over declared variables with *finite
+domains*, so refinement and compatibility are decided exactly by
+enumeration.  This supports every operation the paper uses — compatibility,
+dominance (refinement), composition — with decidable, testable semantics.
+
+A :class:`Contract` pairs an assumption ``A`` (what the component expects
+from its environment) with a guarantee ``G`` (what it promises).  The
+*saturated* guarantee is ``A -> G``: outside its assumption a component
+promises nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ContractError
+
+
+class Var:
+    """A model variable with an explicit finite domain."""
+
+    def __init__(self, name: str, domain: Iterable):
+        domain = tuple(domain)
+        if not domain:
+            raise ContractError(f"variable {name}: empty domain")
+        self.name = name
+        self.domain = domain
+
+    def __repr__(self) -> str:
+        return f"<Var {self.name}:{len(self.domain)} values>"
+
+
+class Predicate:
+    """A named boolean condition over named variables.
+
+    ``fn`` receives an environment dict containing at least the declared
+    variables.  Combinators build derived predicates; ``vars`` is the
+    union of the operands' variables.
+    """
+
+    def __init__(self, fn: Callable[[dict], bool], variables: Iterable[str],
+                 description: str = ""):
+        self.fn = fn
+        self.variables = frozenset(variables)
+        self.description = description
+
+    def __call__(self, env: dict) -> bool:
+        missing = self.variables - set(env)
+        if missing:
+            raise ContractError(
+                f"predicate {self.description!r}: environment missing "
+                f"variables {sorted(missing)}")
+        return bool(self.fn(env))
+
+    # --- combinators ---------------------------------------------------
+    def and_(self, other: "Predicate") -> "Predicate":
+        """Conjunction of two predicates."""
+        return Predicate(lambda env: self(env) and other(env),
+                         self.variables | other.variables,
+                         f"({self.description} and {other.description})")
+
+    def or_(self, other: "Predicate") -> "Predicate":
+        """Disjunction of two predicates."""
+        return Predicate(lambda env: self(env) or other(env),
+                         self.variables | other.variables,
+                         f"({self.description} or {other.description})")
+
+    def not_(self) -> "Predicate":
+        """Negation of the predicate."""
+        return Predicate(lambda env: not self(env), self.variables,
+                         f"(not {self.description})")
+
+    def implies(self, other: "Predicate") -> "Predicate":
+        """Material implication `self -> other`."""
+        return Predicate(lambda env: (not self(env)) or other(env),
+                         self.variables | other.variables,
+                         f"({self.description} implies "
+                         f"{other.description})")
+
+    @staticmethod
+    def true(description: str = "true") -> "Predicate":
+        """The always-true predicate (empty variable set)."""
+        return Predicate(lambda env: True, (), description)
+
+    @staticmethod
+    def false(description: str = "false") -> "Predicate":
+        """The always-false predicate (empty variable set)."""
+        return Predicate(lambda env: False, (), description)
+
+    def __repr__(self) -> str:
+        return f"<Predicate {self.description!r}>"
+
+
+def environments(variables: Iterable[Var]) -> Iterable[dict]:
+    """All assignments over the given variables (cartesian product)."""
+    variables = list(variables)
+    names = [v.name for v in variables]
+    for values in itertools.product(*(v.domain for v in variables)):
+        yield dict(zip(names, values))
+
+
+class Contract:
+    """An assumption/guarantee pair."""
+
+    def __init__(self, name: str, assumption: Predicate,
+                 guarantee: Predicate):
+        self.name = name
+        self.assumption = assumption
+        self.guarantee = guarantee
+
+    @property
+    def variables(self) -> frozenset:
+        """All variables the assumption or guarantee mentions."""
+        return self.assumption.variables | self.guarantee.variables
+
+    def saturated_guarantee(self) -> Predicate:
+        """``A -> G``: the promise in canonical (saturated) form."""
+        return self.assumption.implies(self.guarantee)
+
+    # ------------------------------------------------------------------
+    def _relevant_vars(self, universe: dict[str, Var],
+                       extra: frozenset = frozenset()) -> list[Var]:
+        needed = self.variables | extra
+        missing = needed - set(universe)
+        if missing:
+            raise ContractError(
+                f"contract {self.name}: no domain declared for variables "
+                f"{sorted(missing)}")
+        return [universe[name] for name in sorted(needed)]
+
+    def refines(self, abstract: "Contract",
+                universe: dict[str, Var]) -> bool:
+        """Dominance check: does this (concrete) contract refine
+        ``abstract``?
+
+        Standard conditions over saturated contracts: the concrete assumption is
+        weaker (``A_abs -> A_conc``) and the concrete promise is stronger
+        (``(A_abs and sat-G_conc) -> G_abs``), checked over all
+        environments.
+        """
+        variables = self._relevant_vars(
+            universe, abstract.variables)
+        sat = self.saturated_guarantee()
+        for env in environments(variables):
+            if abstract.assumption(env) and not self.assumption(env):
+                return False
+            if (abstract.assumption(env) and sat(env)
+                    and not abstract.guarantee(env)):
+                return False
+        return True
+
+    def counterexample(self, abstract: "Contract",
+                       universe: dict[str, Var]) -> Optional[dict]:
+        """An environment witnessing a refinement failure (None = refines).
+        More useful than a bare bool for integrator diagnostics."""
+        variables = self._relevant_vars(universe, abstract.variables)
+        sat = self.saturated_guarantee()
+        for env in environments(variables):
+            if abstract.assumption(env) and not self.assumption(env):
+                return dict(env, reason="assumption not weakened")
+            if (abstract.assumption(env) and sat(env)
+                    and not abstract.guarantee(env)):
+                return dict(env, reason="guarantee not strengthened")
+        return None
+
+    def compose(self, other: "Contract",
+                name: Optional[str] = None) -> "Contract":
+        """Parallel composition (simplified A/G algebra).
+
+        Guarantee: both saturated guarantees hold.  Assumption: both
+        assumptions hold, *or* some guarantee is already violated —
+        i.e. ``(A1 and A2) or not (G1 and G2)`` — the standard relaxation
+        that lets one component's guarantee discharge the other's
+        assumption.
+        """
+        sat = self.saturated_guarantee().and_(other.saturated_guarantee())
+        both = self.assumption.and_(other.assumption)
+        assumption = both.or_(sat.not_())
+        return Contract(name or f"({self.name} || {other.name})",
+                        assumption, sat)
+
+    def is_consistent(self, universe: dict[str, Var]) -> bool:
+        """Satisfiable: some environment meets assumption and guarantee."""
+        variables = self._relevant_vars(universe)
+        return any(self.assumption(env) and self.guarantee(env)
+                   for env in environments(variables))
+
+    def __repr__(self) -> str:
+        return (f"<Contract {self.name}: A={self.assumption.description!r} "
+                f"G={self.guarantee.description!r}>")

@@ -1,0 +1,157 @@
+"""Vertical assumptions: resource claims with confidence levels.
+
+Section 3: contract-based interfaces allow "so-called vertical assumptions
+for capturing resource requirements at system-level … assumptions can be
+annotated with confidence levels, reflecting design experience on the
+ability to meet e.g. expected resource constraints."
+
+A :class:`VerticalAssumption` is one such claim (this runnable needs at
+most X of resource R); a :class:`ResourceOffer` is what a platform element
+provides.  :func:`check_compliance` does the bottom-up propagation: given
+an allocation of claims to offers, it sums demands per offer and reports
+violations — the check performed "when committing to a given system
+configuration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ContractError
+
+#: Well-known resource kinds.  Values are interpreted per kind:
+#: cpu — utilization fraction; memory — bytes; bus — bits/second;
+#: cost — currency units; weight — grams; failure_rate — failures/hour
+#: (the dependability budget of a safety goal); latency — nanoseconds
+#: (checked as claim >= observed, not summed).  The paper's Section 3
+#: names "resource constraints, dependability, end-to-end latencies,
+#: costs, weight, volume" as the dimensions rich interfaces must carry.
+CPU = "cpu"
+MEMORY = "memory"
+BUS = "bus"
+COST = "cost"
+WEIGHT = "weight"
+FAILURE_RATE = "failure_rate"
+LATENCY = "latency"
+
+_ADDITIVE = (CPU, MEMORY, BUS, COST, WEIGHT, FAILURE_RATE)
+
+
+@dataclass(frozen=True)
+class VerticalAssumption:
+    """One resource claim made by a design unit (runnable, channel…)."""
+
+    owner: str
+    kind: str
+    demand: float
+    confidence: float = 1.0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.demand < 0:
+            raise ContractError(
+                f"{self.owner}: negative demand {self.demand}")
+        if not 0.0 < self.confidence <= 1.0:
+            raise ContractError(
+                f"{self.owner}: confidence must be in (0, 1], got "
+                f"{self.confidence}")
+
+
+@dataclass(frozen=True)
+class ResourceOffer:
+    """Capacity offered by a platform element (ECU, bus, memory bank)."""
+
+    provider: str
+    kind: str
+    capacity: float
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ContractError(
+                f"{self.provider}: capacity must be > 0")
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of a bottom-up compliance check."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    #: (provider, kind) -> (demand, capacity)
+    loads: dict = field(default_factory=dict)
+    #: joint confidence of every assumption involved (product rule).
+    confidence: float = 1.0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_compliance(assumptions: list[VerticalAssumption],
+                     offers: list[ResourceOffer],
+                     allocation: dict[str, str],
+                     observed_latencies: Optional[dict[str, float]] = None
+                     ) -> ComplianceReport:
+    """Bottom-up vertical-assumption compliance.
+
+    ``allocation`` maps each assumption owner to a provider.  Additive
+    kinds (cpu/memory/bus) are summed per (provider, kind) and compared
+    with the offer; ``latency`` claims are upper bounds compared with
+    ``observed_latencies[owner]`` (e.g. from
+    :mod:`repro.analysis` results).
+    """
+    offer_index = {(o.provider, o.kind): o for o in offers}
+    report = ComplianceReport(ok=True)
+    sums: dict[tuple, float] = {}
+    for assumption in assumptions:
+        report.confidence *= assumption.confidence
+        if assumption.kind == LATENCY:
+            observed = (observed_latencies or {}).get(assumption.owner)
+            if observed is None:
+                report.ok = False
+                report.violations.append(
+                    f"{assumption.owner}: latency claim "
+                    f"{assumption.demand} has no observed/analysed value")
+            elif observed > assumption.demand:
+                report.ok = False
+                report.violations.append(
+                    f"{assumption.owner}: latency {observed} exceeds the "
+                    f"claimed bound {assumption.demand}")
+            continue
+        if assumption.kind not in _ADDITIVE:
+            raise ContractError(
+                f"{assumption.owner}: unknown resource kind "
+                f"{assumption.kind!r}")
+        provider = allocation.get(assumption.owner)
+        if provider is None:
+            report.ok = False
+            report.violations.append(
+                f"{assumption.owner}: not allocated to any provider")
+            continue
+        key = (provider, assumption.kind)
+        if key not in offer_index:
+            report.ok = False
+            report.violations.append(
+                f"{assumption.owner}: provider {provider!r} offers no "
+                f"{assumption.kind}")
+            continue
+        sums[key] = sums.get(key, 0.0) + assumption.demand
+    for key, demand in sorted(sums.items()):
+        capacity = offer_index[key].capacity
+        report.loads[key] = (demand, capacity)
+        if demand > capacity:
+            report.ok = False
+            provider, kind = key
+            report.violations.append(
+                f"{provider}: {kind} over-committed "
+                f"({demand:.6g} > {capacity:.6g})")
+    return report
+
+
+def weakest_assumptions(assumptions: list[VerticalAssumption],
+                        threshold: float = 0.9
+                        ) -> list[VerticalAssumption]:
+    """Claims whose confidence is below ``threshold`` — the items design
+    reviews should spend effort on, sorted least-confident first."""
+    weak = [a for a in assumptions if a.confidence < threshold]
+    return sorted(weak, key=lambda a: a.confidence)

@@ -1,0 +1,155 @@
+"""Software component types and instances.
+
+An :class:`SwComponent` is a component *type*: ports, runnables, and an
+optional rich contract (attached by :mod:`repro.contracts`).  Types are
+instantiated into :class:`ComponentInstance` prototypes that carry
+per-instance state and live inside compositions or systems — the same
+type can appear many times (e.g. one wheel-speed SWC per corner).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CompositionError, ConfigurationError
+from repro.core.interface import (ClientServerInterface,
+                                  SenderReceiverInterface)
+from repro.core.port import PROVIDED, Port, REQUIRED
+from repro.core.runnable import (DataReceivedEvent, OperationInvokedEvent,
+                                 Runnable)
+
+
+class SwComponent:
+    """An atomic software component type."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: dict[str, Port] = {}
+        self.runnables: list[Runnable] = []
+        self.contract = None  # attached by repro.contracts.rich_component
+
+    # ------------------------------------------------------------------
+    # Construction API
+    # ------------------------------------------------------------------
+    def provide(self, name: str, interface) -> Port:
+        """Add a provided port (data sender / operation server)."""
+        return self._add_port(name, interface, PROVIDED)
+
+    def require(self, name: str, interface) -> Port:
+        """Add a required port (data receiver / operation client)."""
+        return self._add_port(name, interface, REQUIRED)
+
+    def _add_port(self, name: str, interface, direction: str) -> Port:
+        if name in self.ports:
+            raise ConfigurationError(
+                f"component {self.name}: duplicate port {name!r}")
+        port = Port(name, interface, direction)
+        self.ports[name] = port
+        return port
+
+    def runnable(self, name: str, trigger, function: Callable,
+                 wcet: int = 1_000, writes=None) -> Runnable:
+        """Add a runnable; trigger and declared write accesses are
+        validated against the ports."""
+        if any(r.name == name for r in self.runnables):
+            raise ConfigurationError(
+                f"component {self.name}: duplicate runnable {name!r}")
+        self._check_trigger(name, trigger)
+        runnable = Runnable(name, trigger, function, wcet, writes)
+        for port_name, element in runnable.writes:
+            port = self.ports.get(port_name)
+            if (port is None or not port.is_provided
+                    or not isinstance(port.interface,
+                                      SenderReceiverInterface)
+                    or element not in port.interface.elements):
+                raise ConfigurationError(
+                    f"runnable {name}: declared write "
+                    f"{port_name}.{element} does not match a provided "
+                    f"sender-receiver element")
+        self.runnables.append(runnable)
+        return runnable
+
+    def writer_of(self, port_name: str, element: str):
+        """The runnable declared (or inferred) to write an element.
+
+        Inference: with a single runnable on the component, it is assumed
+        to write every provided element.  Returns None when no writer can
+        be established — the timing report flags that as missing
+        template data.
+        """
+        for runnable in self.runnables:
+            if (port_name, element) in runnable.writes:
+                return runnable
+        if len(self.runnables) == 1:
+            return self.runnables[0]
+        return None
+
+    def _check_trigger(self, runnable_name: str, trigger) -> None:
+        if isinstance(trigger, DataReceivedEvent):
+            port = self.ports.get(trigger.port)
+            if port is None or not port.is_required:
+                raise ConfigurationError(
+                    f"runnable {runnable_name}: DataReceivedEvent needs an "
+                    f"R-port, {trigger.port!r} is not one")
+            if not isinstance(port.interface, SenderReceiverInterface) \
+                    or trigger.element not in port.interface.elements:
+                raise ConfigurationError(
+                    f"runnable {runnable_name}: port {trigger.port!r} has "
+                    f"no element {trigger.element!r}")
+        elif isinstance(trigger, OperationInvokedEvent):
+            port = self.ports.get(trigger.port)
+            if port is None or not port.is_provided:
+                raise ConfigurationError(
+                    f"runnable {runnable_name}: OperationInvokedEvent needs "
+                    f"a P-port, {trigger.port!r} is not one")
+            if not isinstance(port.interface, ClientServerInterface) \
+                    or trigger.operation not in port.interface.operations:
+                raise ConfigurationError(
+                    f"runnable {runnable_name}: port {trigger.port!r} has "
+                    f"no operation {trigger.operation!r}")
+
+    # ------------------------------------------------------------------
+    def server_runnable(self, port_name: str, operation: str
+                        ) -> Optional[Runnable]:
+        """The runnable handling an operation invocation, if declared."""
+        for runnable in self.runnables:
+            trigger = runnable.trigger
+            if (isinstance(trigger, OperationInvokedEvent)
+                    and trigger.port == port_name
+                    and trigger.operation == operation):
+                return runnable
+        return None
+
+    def instantiate(self, instance_name: str) -> "ComponentInstance":
+        """Create a named instance (prototype) of this component type."""
+        return ComponentInstance(instance_name, self)
+
+    def __repr__(self) -> str:
+        return (f"<SwComponent {self.name} ports={sorted(self.ports)} "
+                f"runnables={len(self.runnables)}>")
+
+
+class ComponentInstance:
+    """One occurrence of a component type in a composition or system."""
+
+    def __init__(self, name: str, component: SwComponent):
+        self.name = name
+        self.component = component
+        self.state: dict = {}
+
+    @property
+    def ports(self) -> dict[str, Port]:
+        """The component type's port table (shared, read-only use)."""
+        return self.component.ports
+
+    def port(self, name: str) -> Port:
+        """Look up a port by name (CompositionError when absent)."""
+        port = self.component.ports.get(name)
+        if port is None:
+            raise CompositionError(
+                f"instance {self.name}: component {self.component.name} "
+                f"has no port {name!r}")
+        return port
+
+    def __repr__(self) -> str:
+        return f"<ComponentInstance {self.name}:{self.component.name}>"

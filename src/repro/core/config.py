@@ -1,0 +1,130 @@
+"""AUTOSAR configuration classes: pre-compile, link-time, post-build.
+
+The paper's Section 2 lists the "extended configuration concept" as one of
+AUTOSAR's innovations: every configuration parameter belongs to a
+*configuration class* that fixes the last moment its value may change.
+:class:`ConfigurationSet` models the lifecycle: parameters are declared
+with a class and a validator; ``compile()`` freezes pre-compile
+parameters, ``link()`` freezes link-time parameters, and post-build
+parameters stay writable (they model reflashable calibration /
+post-build-selectable variants).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+PRE_COMPILE = "pre-compile"
+LINK_TIME = "link-time"
+POST_BUILD = "post-build"
+
+_CLASSES = (PRE_COMPILE, LINK_TIME, POST_BUILD)
+_STAGES = ("editing", "compiled", "linked")
+
+
+class ConfigParameter:
+    """One configuration parameter."""
+
+    def __init__(self, name: str, value, config_class: str,
+                 validator: Optional[Callable[[object], bool]] = None,
+                 description: str = ""):
+        if config_class not in _CLASSES:
+            raise ConfigurationError(
+                f"parameter {name}: unknown configuration class "
+                f"{config_class!r} (use one of {_CLASSES})")
+        self.name = name
+        self.config_class = config_class
+        self.validator = validator
+        self.description = description
+        self.value = None
+        self._set(value)
+
+    def _set(self, value) -> None:
+        if self.validator is not None and not self.validator(value):
+            raise ConfigurationError(
+                f"parameter {self.name}: value {value!r} rejected by "
+                f"validator")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return (f"<ConfigParameter {self.name}={self.value!r} "
+                f"[{self.config_class}]>")
+
+
+class ConfigurationSet:
+    """A container of parameters with build-stage freeze semantics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: dict[str, ConfigParameter] = {}
+        self.stage = "editing"
+
+    def declare(self, name: str, value, config_class: str,
+                validator: Optional[Callable] = None,
+                description: str = "") -> ConfigParameter:
+        """Declare a parameter.  Only possible before ``compile()``."""
+        if self.stage != "editing":
+            raise ConfigurationError(
+                f"{self.name}: cannot declare parameters after compile()")
+        if name in self._params:
+            raise ConfigurationError(
+                f"{self.name}: duplicate parameter {name!r}")
+        param = ConfigParameter(name, value, config_class, validator,
+                                description)
+        self._params[name] = param
+        return param
+
+    def get(self, name: str):
+        """Current value of a parameter."""
+        return self._param(name).value
+
+    def set(self, name: str, value) -> None:
+        """Change a parameter, enforcing its configuration class against
+        the current build stage."""
+        param = self._param(name)
+        if param.config_class == PRE_COMPILE and self.stage != "editing":
+            raise ConfigurationError(
+                f"{self.name}: {name} is pre-compile; frozen after "
+                f"compile()")
+        if param.config_class == LINK_TIME and self.stage == "linked":
+            raise ConfigurationError(
+                f"{self.name}: {name} is link-time; frozen after link()")
+        param._set(value)
+
+    def compile(self) -> None:
+        """Enter the compiled stage (pre-compile parameters freeze)."""
+        if self.stage != "editing":
+            raise ConfigurationError(f"{self.name}: already compiled")
+        self.stage = "compiled"
+
+    def link(self) -> None:
+        """Enter the linked stage (link-time parameters freeze too)."""
+        if self.stage != "compiled":
+            raise ConfigurationError(
+                f"{self.name}: link() requires the compiled stage")
+        self.stage = "linked"
+
+    def parameters(self, config_class: Optional[str] = None
+                   ) -> list[ConfigParameter]:
+        """All parameters, optionally filtered by configuration class."""
+        params = list(self._params.values())
+        if config_class is not None:
+            params = [p for p in params if p.config_class == config_class]
+        return params
+
+    def snapshot(self) -> dict:
+        """Plain dict of parameter values (for export / diffing)."""
+        return {name: param.value for name, param in self._params.items()}
+
+    def _param(self, name: str) -> ConfigParameter:
+        param = self._params.get(name)
+        if param is None:
+            raise ConfigurationError(
+                f"{self.name}: unknown parameter {name!r}")
+        return param
+
+    def __repr__(self) -> str:
+        return (f"<ConfigurationSet {self.name} stage={self.stage} "
+                f"params={len(self._params)}>")

@@ -1,0 +1,79 @@
+"""Transferability conformance checking: VFB vs deployment.
+
+The RTE's contract is that application behaviour designed against the
+VFB transfers unchanged to any deployment ("the RTE is the run-time
+implementation of the VFB", Section 2).  :func:`check_transferability`
+mechanizes the check: build the application twice from factories (fresh
+instances, so per-instance state cannot leak between the two runs), run
+the VFB reference and the deployed system to the same horizon, and
+compare the observed port values.
+
+Factories are required rather than instances because component state
+dicts are shared between a composition and its flattened/deployed form —
+reusing one composition object for both runs would contaminate the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.composition import Composition
+from repro.core.vfb import VfbSimulation
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a VFB-vs-deployment comparison."""
+
+    ok: bool
+    observed: int = 0
+    mismatches: list[dict] = field(default_factory=list)
+    vfb_values: dict = field(default_factory=dict)
+    deployed_values: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_transferability(
+        app_factory: Callable[[], Composition],
+        system_factory: Callable[[Composition], "SystemModel"],
+        horizon: int,
+        observe: list[tuple[str, str, str]],
+        settle: int = 0) -> ConformanceReport:
+    """Run the application on the VFB and deployed; compare buffers.
+
+    ``observe`` lists ``(instance, port, element)`` buffers to compare.
+    ``settle`` grants the deployment extra time after the horizon so
+    in-flight frames and pending activations can drain (the VFB is
+    instantaneous; a deployment is not) — pick it larger than the
+    worst end-to-end latency but smaller than the producers' periods,
+    so no *new* values are produced during settling.
+    """
+    vfb_sim = Simulator()
+    vfb = VfbSimulation(vfb_sim, app_factory())
+    vfb.start()
+    vfb_sim.run_until(horizon)
+
+    deployed_sim = Simulator()
+    runtime = system_factory(app_factory()).build(deployed_sim)
+    deployed_sim.run_until(horizon + settle)
+
+    report = ConformanceReport(ok=True, observed=len(observe))
+    for instance, port, element in observe:
+        vfb_value = vfb.value_of(instance, port, element)
+        deployed_value = runtime.value_of(instance, port, element)
+        key = f"{instance}.{port}.{element}"
+        report.vfb_values[key] = vfb_value
+        report.deployed_values[key] = deployed_value
+        if vfb_value != deployed_value:
+            report.ok = False
+            report.mismatches.append({
+                "buffer": key,
+                "vfb": vfb_value,
+                "deployed": deployed_value,
+            })
+    return report

@@ -1,0 +1,119 @@
+"""Port interfaces: sender-receiver and client-server.
+
+These are the "functional interfaces … published in function catalogues"
+of the paper's Section 2: a supplier publishes the interface without
+disclosing the component's internals, and the integrator checks structural
+compatibility at connection time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.core.types import DataType
+
+
+class SenderReceiverInterface:
+    """Data-oriented interface: named elements, each with a type.
+
+    Elements listed in ``queued`` use *event* semantics: every sent
+    value is delivered exactly once through a receiver-side FIFO
+    (``ctx.receive``), instead of the default *last-is-best* state
+    semantics (``ctx.read``).  Queuedness is part of the interface, so
+    both sides agree on it by construction.
+    """
+
+    kind = "sender-receiver"
+
+    def __init__(self, name: str, elements: dict[str, DataType],
+                 queued: Optional[set] = None):
+        if not elements:
+            raise ConfigurationError(
+                f"interface {name}: needs at least one element")
+        self.name = name
+        self.elements = dict(elements)
+        self.queued = frozenset(queued or ())
+        unknown = self.queued - set(self.elements)
+        if unknown:
+            raise ConfigurationError(
+                f"interface {name}: queued elements {sorted(unknown)} "
+                f"are not declared")
+
+    def is_queued(self, element: str) -> bool:
+        """Whether an element uses queued (event) semantics."""
+        return element in self.queued
+
+    def compatible_with(self, other) -> bool:
+        """Structural compatibility: same element names with compatible
+        types and identical queuedness (interface *names* may differ
+        across catalogues)."""
+        if not isinstance(other, SenderReceiverInterface):
+            return False
+        if set(self.elements) != set(other.elements):
+            return False
+        if self.queued != other.queued:
+            return False
+        return all(self.elements[k].compatible_with(other.elements[k])
+                   for k in self.elements)
+
+    def __repr__(self) -> str:
+        return f"<SRInterface {self.name} {sorted(self.elements)}>"
+
+
+class Operation:
+    """One operation of a client-server interface."""
+
+    def __init__(self, name: str, args: Optional[dict[str, DataType]] = None,
+                 returns: Optional[DataType] = None):
+        self.name = name
+        self.args = dict(args or {})
+        self.returns = returns
+
+    def compatible_with(self, other: "Operation") -> bool:
+        """Structural compatibility: same args and return typing."""
+        if set(self.args) != set(other.args):
+            return False
+        if not all(self.args[k].compatible_with(other.args[k])
+                   for k in self.args):
+            return False
+        if (self.returns is None) != (other.returns is None):
+            return False
+        if self.returns is not None and not self.returns.compatible_with(
+                other.returns):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        ret = self.returns.name if self.returns else "void"
+        return f"<Operation {self.name}({sorted(self.args)}) -> {ret}>"
+
+
+class ClientServerInterface:
+    """Operation-oriented interface."""
+
+    kind = "client-server"
+
+    def __init__(self, name: str, operations: dict[str, Operation]):
+        if not operations:
+            raise ConfigurationError(
+                f"interface {name}: needs at least one operation")
+        for op_name, operation in operations.items():
+            if op_name != operation.name:
+                raise ConfigurationError(
+                    f"interface {name}: key {op_name!r} != operation "
+                    f"name {operation.name!r}")
+        self.name = name
+        self.operations = dict(operations)
+
+    def compatible_with(self, other) -> bool:
+        """Structural compatibility: same operations, pairwise compatible."""
+        if not isinstance(other, ClientServerInterface):
+            return False
+        if set(self.operations) != set(other.operations):
+            return False
+        return all(self.operations[k].compatible_with(other.operations[k])
+                   for k in self.operations)
+
+    def __repr__(self) -> str:
+        return f"<CSInterface {self.name} {sorted(self.operations)}>"

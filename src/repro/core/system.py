@@ -1,0 +1,219 @@
+"""System models: composition + ECUs + mapping + bus.
+
+A :class:`SystemModel` is the integrator's view: the flattened component
+network, the ECU inventory, the instance-to-ECU mapping and the bus
+configuration.  :meth:`SystemModel.validate` performs the "prior to
+implementation system configuration checks" the paper calls for (Section
+2, limitation 2); :meth:`SystemModel.build` generates the RTE and returns
+a runnable :class:`~repro.core.rte.SystemRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.core.composition import Composition
+from repro.core.ecu import EcuSpec
+from repro.core.interface import (ClientServerInterface,
+                                  SenderReceiverInterface)
+
+SUPPORTED_BUSES = ("can", "flexray", "tte", None)
+
+
+class SystemModel:
+    """A deployable system description."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ecus: dict[str, EcuSpec] = {}
+        self.root: Optional[Composition] = None
+        self.mapping: dict[str, str] = {}
+        #: per-domain bus configuration: domain -> (kind, params).
+        self.domain_buses: dict[str, tuple[Optional[str], dict]] = {}
+        self.can_ids: dict[str, int] = {}
+        self.gateway_delay: int = 100_000
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_ecu(self, name: str, scheduler_factory=None,
+                budget_enforcement: str = "kill",
+                domain: str = "default") -> EcuSpec:
+        """Declare an ECU (optionally with scheduler, protection, domain)."""
+        if name in self.ecus:
+            raise ConfigurationError(f"duplicate ECU {name!r}")
+        ecu = EcuSpec(name, scheduler_factory, budget_enforcement, domain)
+        self.ecus[name] = ecu
+        return ecu
+
+    def set_root(self, composition: Composition) -> None:
+        """Set the composition this system deploys."""
+        self.root = composition
+
+    def map(self, instance_name: str, ecu_name: str) -> None:
+        """Map a flattened instance name onto an ECU."""
+        self.mapping[instance_name] = ecu_name
+
+    def map_all(self, ecu_name: str) -> None:
+        """Map every instance onto one ECU (integrated single-box)."""
+        if self.root is None:
+            raise ConfigurationError("set_root before map_all")
+        instances, __ = self.root.flatten()
+        for instance in instances:
+            self.mapping[instance.name] = ecu_name
+
+    def configure_bus(self, kind: Optional[str], **params) -> None:
+        """Configure the bus of the ``default`` domain (the common
+        single-bus case)."""
+        self.configure_domain_bus("default", kind, **params)
+
+    def configure_domain_bus(self, domain: str, kind: Optional[str],
+                             **params) -> None:
+        """Configure one domain's bus.  Cross-domain traffic is routed
+        through an auto-generated central gateway (CAN domains only)."""
+        if kind not in SUPPORTED_BUSES:
+            raise ConfigurationError(
+                f"unsupported bus kind {kind!r}; pick from "
+                f"{SUPPORTED_BUSES}")
+        self.domain_buses[domain] = (kind, params)
+
+    def set_gateway_delay(self, delay: int) -> None:
+        """Processing delay of the auto-generated central gateway."""
+        if delay < 0:
+            raise ConfigurationError("gateway delay must be >= 0")
+        self.gateway_delay = delay
+
+    # -- backward-compatible single-bus accessors ----------------------
+    @property
+    def bus_kind(self) -> Optional[str]:
+        """Bus kind of the default domain (single-bus convenience)."""
+        kind, __ = self.domain_buses.get("default", (None, {}))
+        return kind
+
+    @property
+    def bus_params(self) -> dict:
+        """Bus parameters of the default domain."""
+        __, params = self.domain_buses.get("default", (None, {}))
+        return params
+
+    def set_can_id(self, pdu_name: str, can_id: int) -> None:
+        """Pin the CAN identifier of a generated PDU."""
+        self.can_ids[pdu_name] = can_id
+
+    # ------------------------------------------------------------------
+    # Static checks
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Configuration checks; returns human-readable issues (empty =
+        consistent).  ``build`` refuses to proceed on a non-empty list."""
+        issues: list[str] = []
+        if self.root is None:
+            return ["no root composition set"]
+        instances, connectors = self.root.flatten()
+        by_name = {i.name: i for i in instances}
+        for instance in instances:
+            ecu = self.mapping.get(instance.name)
+            if ecu is None:
+                issues.append(f"instance {instance.name!r} is not mapped "
+                              f"to any ECU")
+            elif ecu not in self.ecus:
+                issues.append(f"instance {instance.name!r} mapped to "
+                              f"unknown ECU {ecu!r}")
+        for name in self.mapping:
+            if name not in by_name:
+                issues.append(f"mapping references unknown instance "
+                              f"{name!r}")
+        for connector in connectors:
+            src_ecu = self.mapping.get(connector.source.instance)
+            dst_ecu = self.mapping.get(connector.target.instance)
+            if src_ecu is None or dst_ecu is None or src_ecu == dst_ecu:
+                continue
+            if src_ecu not in self.ecus or dst_ecu not in self.ecus:
+                continue
+            src = by_name[connector.source.instance]
+            port = src.port(connector.source.port)
+            if isinstance(port.interface, ClientServerInterface):
+                for op in port.interface.operations.values():
+                    if op.returns is not None:
+                        issues.append(
+                            f"connector {connector.source} -> "
+                            f"{connector.target}: remote client-server "
+                            f"operations with return values are not "
+                            f"supported; operation {op.name!r} returns "
+                            f"{op.returns.name}")
+            issues.extend(self._check_domains(connector, src_ecu,
+                                              dst_ecu))
+        issues.extend(self._check_pdu_sizes(instances, connectors))
+        return issues
+
+    def _domain_kind(self, domain: str) -> Optional[str]:
+        kind, __ = self.domain_buses.get(domain, (None, {}))
+        return kind
+
+    def _check_domains(self, connector, src_ecu: str,
+                       dst_ecu: str) -> list[str]:
+        issues = []
+        src_domain = self.ecus[src_ecu].domain
+        dst_domain = self.ecus[dst_ecu].domain
+        for domain in {src_domain, dst_domain}:
+            if self._domain_kind(domain) is None:
+                issues.append(
+                    f"connector {connector.source} -> {connector.target} "
+                    f"needs a bus in domain {domain!r} but none is "
+                    f"configured")
+        if src_domain != dst_domain:
+            kinds = {self._domain_kind(src_domain),
+                     self._domain_kind(dst_domain)}
+            if kinds - {None} and kinds != {"can"}:
+                issues.append(
+                    f"connector {connector.source} -> {connector.target} "
+                    f"crosses domains {src_domain!r} -> {dst_domain!r}; "
+                    f"auto-gatewaying only supports CAN domains "
+                    f"(got {sorted(k for k in kinds if k)})")
+        return issues
+
+    def _check_pdu_sizes(self, instances, connectors) -> list[str]:
+        issues = []
+        by_name = {i.name: i for i in instances}
+        seen_ports = set()
+        for connector in connectors:
+            src_ecu = self.mapping.get(connector.source.instance)
+            dst_ecu = self.mapping.get(connector.target.instance)
+            if src_ecu is None or dst_ecu is None or src_ecu == dst_ecu:
+                continue
+            if src_ecu not in self.ecus:
+                continue
+            domain = self.ecus[src_ecu].domain
+            if self._domain_kind(domain) != "can":
+                continue
+            key = (connector.source.instance, connector.source.port)
+            if key in seen_ports:
+                continue
+            seen_ports.add(key)
+            src = by_name[connector.source.instance]
+            port = src.port(connector.source.port)
+            if not isinstance(port.interface, SenderReceiverInterface):
+                continue
+            bits = sum(t.width_bits + 1  # +1 update bit per element
+                       for t in port.interface.elements.values())
+            if bits > 64:
+                issues.append(
+                    f"port {connector.source} needs {bits} bits with "
+                    f"update bits; exceeds one 8-byte CAN frame — split "
+                    f"the interface")
+        return issues
+
+    def build(self, sim, trace=None):
+        """Generate the RTE and instantiate the platform on ``sim``."""
+        from repro.core.rte import RteBuilder
+        issues = self.validate()
+        if issues:
+            raise ConfigurationError(
+                "system configuration checks failed:\n  "
+                + "\n  ".join(issues))
+        return RteBuilder(self).build(sim, trace)
+
+    def __repr__(self) -> str:
+        return (f"<SystemModel {self.name} ecus={sorted(self.ecus)} "
+                f"bus={self.bus_kind}>")

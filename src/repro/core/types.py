@@ -1,0 +1,65 @@
+"""Application data types.
+
+A :class:`DataType` is a named, width-bounded unsigned integer type — the
+subset that maps 1:1 onto COM signals, which keeps the VFB-to-network path
+lossless.  Physical interpretation (scale/offset/unit) is carried as
+metadata for documentation and contract predicates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class DataType:
+    """An unsigned integer application type of ``width_bits`` bits."""
+
+    def __init__(self, name: str, width_bits: int, initial: int = 0,
+                 scale: float = 1.0, offset: float = 0.0, unit: str = ""):
+        if width_bits <= 0 or width_bits > 64:
+            raise ConfigurationError(
+                f"type {name}: width must be 1..64 bits")
+        self.name = name
+        self.width_bits = width_bits
+        self.scale = scale
+        self.offset = offset
+        self.unit = unit
+        self.initial = initial
+        self.validate(initial)
+
+    @property
+    def max_value(self) -> int:
+        """Largest raw value the type's width can carry."""
+        return (1 << self.width_bits) - 1
+
+    def validate(self, value: int) -> int:
+        """Check ``value`` fits the type; returns it for chaining."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"type {self.name}: expected int, got {value!r}")
+        if not 0 <= value <= self.max_value:
+            raise ConfigurationError(
+                f"type {self.name}: {value} outside 0..{self.max_value}")
+        return value
+
+    def to_physical(self, raw: int) -> float:
+        """Raw-to-physical conversion (``raw * scale + offset``)."""
+        return raw * self.scale + self.offset
+
+    def from_physical(self, physical: float) -> int:
+        """Physical-to-raw conversion, validated against the width."""
+        return self.validate(round((physical - self.offset) / self.scale))
+
+    def compatible_with(self, other: "DataType") -> bool:
+        """Structural compatibility: same width (name/unit are
+        documentation)."""
+        return self.width_bits == other.width_bits
+
+    def __repr__(self) -> str:
+        return f"<DataType {self.name}:{self.width_bits}b>"
+
+
+BOOL = DataType("boolean", 1)
+UINT8 = DataType("uint8", 8)
+UINT16 = DataType("uint16", 16)
+UINT32 = DataType("uint32", 32)

@@ -1,0 +1,20 @@
+"""Design-space exploration: priorities, allocation, consolidation."""
+
+from repro.dse.allocation import (AllocatableTask, Allocation, allocate,
+                                  minimum_ecus)
+from repro.dse.consolidation import (ArchitectureMetrics,
+                                     consolidation_report,
+                                     federated_metrics, integrated_metrics)
+from repro.dse.explorer import (AllocationCandidate, explore_allocations)
+from repro.dse.platform import (EcuType, PlatformChoice, SizedEcu,
+                                size_platform)
+from repro.dse.priority import assign_can_ids, audsley, deadline_monotonic
+
+__all__ = [
+    "AllocatableTask", "Allocation", "allocate", "minimum_ecus",
+    "ArchitectureMetrics", "consolidation_report", "federated_metrics",
+    "integrated_metrics",
+    "AllocationCandidate", "explore_allocations",
+    "EcuType", "PlatformChoice", "SizedEcu", "size_platform",
+    "assign_can_ids", "audsley", "deadline_monotonic",
+]

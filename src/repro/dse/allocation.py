@@ -1,0 +1,117 @@
+"""Task-to-ECU allocation.
+
+The integrated-architecture move (Section 4) packs applications from many
+DASes onto few ECUs, subject to (a) schedulability on every ECU and
+(b) an isolation rule for mixed criticality: either every co-located
+mixed-criticality pairing is protected by partitioning/timing protection,
+or DASes of different criticality must not share an ECU at all.
+
+First-fit decreasing by utilization with an exact response-time check per
+bin is the standard, strong heuristic for this packing problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.analysis.rta import analyze
+from repro.dse.priority import deadline_monotonic
+from repro.osek.task import TaskSpec
+
+
+@dataclass(frozen=True)
+class AllocatableTask:
+    """A task plus its subsystem (DAS) membership."""
+
+    spec: TaskSpec
+    das: str
+
+    @property
+    def criticality(self) -> str:
+        """The task's ASIL level (from its spec)."""
+        return self.spec.criticality
+
+
+@dataclass
+class Allocation:
+    """Result: bins of tasks, one per ECU."""
+
+    bins: list[list[AllocatableTask]] = field(default_factory=list)
+
+    @property
+    def ecu_count(self) -> int:
+        """Number of ECUs (bins) used."""
+        return len(self.bins)
+
+    def mapping(self) -> dict[str, int]:
+        """task name -> ECU index."""
+        return {task.spec.name: index
+                for index, bin_tasks in enumerate(self.bins)
+                for task in bin_tasks}
+
+    def utilization(self, index: int) -> float:
+        """CPU utilization of one bin."""
+        return sum(t.spec.utilization for t in self.bins[index])
+
+
+def _bin_schedulable(bin_tasks: list[AllocatableTask]) -> bool:
+    specs = deadline_monotonic([t.spec for t in bin_tasks])
+    return analyze(specs).schedulable
+
+
+def _criticality_ok(bin_tasks: list[AllocatableTask],
+                    candidate: AllocatableTask,
+                    mixed_criticality_ok: bool) -> bool:
+    if mixed_criticality_ok:
+        return True
+    return all(t.criticality == candidate.criticality for t in bin_tasks)
+
+
+def allocate(tasks: list[AllocatableTask], max_ecus: int,
+             mixed_criticality_ok: bool = True) -> Optional[Allocation]:
+    """First-fit decreasing allocation onto at most ``max_ecus`` ECUs.
+
+    ``mixed_criticality_ok=False`` forbids co-locating different
+    criticality levels (the conservative rule when the platform offers no
+    timing isolation); with isolation mechanisms available it may be
+    True — that difference is exactly what E5 quantifies.
+
+    Returns None when the tasks do not fit.
+    """
+    if max_ecus <= 0:
+        raise AnalysisError("max_ecus must be > 0")
+    ordered = sorted(tasks, key=lambda t: (-t.spec.utilization,
+                                           t.spec.name))
+    allocation = Allocation()
+    for task in ordered:
+        placed = False
+        for bin_tasks in allocation.bins:
+            if not _criticality_ok(bin_tasks, task, mixed_criticality_ok):
+                continue
+            trial = bin_tasks + [task]
+            if _bin_schedulable(trial):
+                bin_tasks.append(task)
+                placed = True
+                break
+        if not placed:
+            if len(allocation.bins) >= max_ecus:
+                return None
+            if not _bin_schedulable([task]):
+                return None  # task infeasible even alone
+            allocation.bins.append([task])
+    return allocation
+
+
+def minimum_ecus(tasks: list[AllocatableTask],
+                 mixed_criticality_ok: bool = True,
+                 ceiling: int = 64) -> Optional[Allocation]:
+    """Smallest ECU count for which allocation succeeds (first-fit
+    decreasing is monotone in the bin budget, so the first success
+    is minimal for this heuristic)."""
+    for count in range(1, ceiling + 1):
+        allocation = allocate(tasks, count, mixed_criticality_ok)
+        if allocation is not None:
+            return allocation
+    return None

@@ -1,0 +1,103 @@
+"""Federated-to-integrated architecture consolidation.
+
+Section 4's claim: integrating distributed application subsystems into a
+unified architecture yields "a consequent reduction in the number of
+Electronic Control Units, physical wires and physical contact points".
+
+This module quantifies that claim for a given workload:
+
+* the **federated** baseline places every function on its own ECU inside
+  its DAS (the historical one-function-one-box pattern), one bus per DAS,
+  plus a central gateway joining the domain buses;
+* the **integrated** design packs the same tasks onto the minimum number
+  of schedulable ECUs (via :mod:`repro.dse.allocation`) sharing one
+  time-triggered backbone.
+
+Harness metrics use standard approximations: each ECU contributes a
+power/ground pair plus two bus stub wires; each wire terminates in two
+contact points; inter-domain traffic in the federated design also crosses
+the gateway (counted as additional ECU + stubs per domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.dse.allocation import AllocatableTask, Allocation, minimum_ecus
+
+#: wires per ECU: power, ground, bus-high, bus-low.
+WIRES_PER_ECU = 4
+#: each wire has two terminations.
+CONTACTS_PER_WIRE = 2
+
+
+@dataclass
+class ArchitectureMetrics:
+    """Comparable cost figures of one architecture variant."""
+
+    name: str
+    ecus: int
+    buses: int
+    wires: int
+    contacts: int
+    max_utilization: float
+
+    def as_row(self) -> dict:
+        """Flat dict row for report tables."""
+        return {"architecture": self.name, "ecus": self.ecus,
+                "buses": self.buses, "wires": self.wires,
+                "contacts": self.contacts,
+                "max_cpu_utilization": round(self.max_utilization, 3)}
+
+
+def federated_metrics(tasks: list[AllocatableTask]) -> ArchitectureMetrics:
+    """One ECU per task, one bus per DAS, one central gateway ECU."""
+    if not tasks:
+        raise AnalysisError("no tasks to place")
+    dases = {task.das for task in tasks}
+    ecus = len(tasks) + 1  # + gateway
+    buses = len(dases)
+    wires = ecus * WIRES_PER_ECU + (buses - 1) * 2  # gateway stubs
+    return ArchitectureMetrics(
+        name="federated",
+        ecus=ecus,
+        buses=buses,
+        wires=wires,
+        contacts=wires * CONTACTS_PER_WIRE,
+        max_utilization=max(t.spec.utilization for t in tasks),
+    )
+
+
+def integrated_metrics(tasks: list[AllocatableTask],
+                       mixed_criticality_ok: bool = True
+                       ) -> tuple[ArchitectureMetrics, Allocation]:
+    """Minimum schedulable packing on a single shared TT backbone."""
+    allocation = minimum_ecus(tasks, mixed_criticality_ok)
+    if allocation is None:
+        raise AnalysisError("workload cannot be consolidated: some task "
+                            "is unschedulable even on a dedicated ECU")
+    ecus = allocation.ecu_count
+    wires = ecus * WIRES_PER_ECU
+    utilizations = [allocation.utilization(i) for i in range(ecus)]
+    metrics = ArchitectureMetrics(
+        name=("integrated" if mixed_criticality_ok
+              else "integrated-segregated"),
+        ecus=ecus,
+        buses=1,
+        wires=wires,
+        contacts=wires * CONTACTS_PER_WIRE,
+        max_utilization=max(utilizations),
+    )
+    return metrics, allocation
+
+
+def consolidation_report(tasks: list[AllocatableTask]) -> list[dict]:
+    """The E5 table: federated vs integrated (with and without
+    criticality segregation)."""
+    rows = [federated_metrics(tasks).as_row()]
+    segregated, __ = integrated_metrics(tasks, mixed_criticality_ok=False)
+    rows.append(segregated.as_row())
+    integrated, __ = integrated_metrics(tasks, mixed_criticality_ok=True)
+    rows.append(integrated.as_row())
+    return rows

@@ -1,0 +1,80 @@
+"""Allocation exploration scored by prior-to-implementation analysis.
+
+Section 3: vertical assumptions and system-level analysis should support
+"exploring allocation decisions with respect to their impact on
+extrafunctional requirements".  :func:`explore_allocations` does exactly
+that: it enumerates alternative instance-to-ECU mappings of a system
+model, scores each candidate with the timing report (no building, no
+simulation), and ranks the feasible ones by their worst end-to-end chain
+bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.system_report import timing_report
+from repro.errors import AnalysisError
+
+#: safety valve against combinatorial explosion.
+MAX_CANDIDATES = 4096
+
+
+@dataclass
+class AllocationCandidate:
+    """One explored mapping and its analysis outcome."""
+
+    mapping: dict[str, str]
+    schedulable: bool
+    worst_chain: Optional[int] = None
+    chain_latency: dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (f"<AllocationCandidate worst={self.worst_chain} "
+                f"{self.mapping}>")
+
+
+def explore_allocations(system, movable: list[str],
+                        max_candidates: int = MAX_CANDIDATES
+                        ) -> list[AllocationCandidate]:
+    """Enumerate mappings of ``movable`` instances over the system's
+    ECUs; return candidates ranked best (lowest worst-chain bound)
+    first, feasible before infeasible.
+
+    The system's own mapping is restored afterwards; fixed instances
+    keep their assignment in every candidate.
+    """
+    for name in movable:
+        if name not in system.mapping:
+            raise AnalysisError(f"unknown movable instance {name!r}")
+    ecus = sorted(system.ecus)
+    count = len(ecus) ** len(movable)
+    if count > max_candidates:
+        raise AnalysisError(
+            f"{count} candidates exceed the limit {max_candidates}; "
+            f"reduce the movable set or raise the limit")
+    original = dict(system.mapping)
+    candidates = []
+    try:
+        for assignment in itertools.product(ecus, repeat=len(movable)):
+            for name, ecu in zip(movable, assignment):
+                system.mapping[name] = ecu
+            report = timing_report(system)
+            feasible = report.analysable and report.schedulable
+            worst = (max(report.chain_latency.values())
+                     if feasible and report.chain_latency else None)
+            candidates.append(AllocationCandidate(
+                mapping=dict(system.mapping),
+                schedulable=feasible,
+                worst_chain=worst,
+                chain_latency=dict(report.chain_latency)))
+    finally:
+        system.mapping.clear()
+        system.mapping.update(original)
+    infinity = float("inf")
+    candidates.sort(key=lambda c: (not c.schedulable,
+                                   c.worst_chain if c.worst_chain
+                                   is not None else infinity))
+    return candidates

@@ -1,0 +1,123 @@
+"""Cost-efficient platform sizing from vertical assumptions.
+
+Section 3: "Such vertical assumptions can also be used to guide the
+search for cost-efficient hardware structures supporting the joint
+resource constraints."  Given the suppliers' CPU claims and a catalogue
+of ECU types (capacity x cost), :func:`size_platform` picks a hardware
+structure that covers every claim — first-fit-decreasing packing onto
+opened ECUs, opening the cheapest sufficient type on demand, then a
+downsizing pass that swaps each ECU for the cheapest type still covering
+its final load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.contracts.vertical import CPU, VerticalAssumption
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class EcuType:
+    """A purchasable ECU variant.
+
+    ``cpu_capacity`` is normalized utilization supply (1.0 = the
+    reference core; 2.0 = twice as fast).
+    """
+
+    name: str
+    cpu_capacity: float
+    cost: float
+
+    def __post_init__(self):
+        if self.cpu_capacity <= 0 or self.cost <= 0:
+            raise AnalysisError(
+                f"ECU type {self.name}: capacity and cost must be > 0")
+
+
+@dataclass
+class SizedEcu:
+    """One chosen ECU and the claims placed on it."""
+
+    ecu_type: EcuType
+    owners: list[str] = field(default_factory=list)
+    load: float = 0.0
+
+    @property
+    def headroom(self) -> float:
+        """Capacity remaining on this ECU."""
+        return self.ecu_type.cpu_capacity - self.load
+
+
+@dataclass
+class PlatformChoice:
+    """A selected hardware structure: ECUs with their claims."""
+    ecus: list[SizedEcu] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of the chosen ECU types' costs."""
+        return sum(e.ecu_type.cost for e in self.ecus)
+
+    def allocation(self) -> dict[str, int]:
+        """claim owner -> chosen ECU index."""
+        return {owner: index
+                for index, ecu in enumerate(self.ecus)
+                for owner in ecu.owners}
+
+
+def size_platform(assumptions: list[VerticalAssumption],
+                  catalogue: list[EcuType],
+                  utilization_ceiling: float = 1.0) -> PlatformChoice:
+    """Choose a cost-efficient set of ECUs covering all CPU claims.
+
+    ``utilization_ceiling`` de-rates every ECU (e.g. 0.69 to stay under
+    the Liu & Layland bound for unknown task sets).  Raises when a claim
+    exceeds the largest catalogue type.
+    """
+    if not catalogue:
+        raise AnalysisError("empty ECU catalogue")
+    claims = [a for a in assumptions if a.kind == CPU]
+    if not claims:
+        raise AnalysisError("no CPU claims to place")
+    if not 0 < utilization_ceiling <= 1.0:
+        raise AnalysisError("utilization_ceiling must be in (0, 1]")
+    types_by_capacity = sorted(catalogue, key=lambda t: (t.cost,
+                                                         -t.cpu_capacity))
+
+    def usable(ecu_type: EcuType) -> float:
+        return ecu_type.cpu_capacity * utilization_ceiling
+
+    biggest = max(usable(t) for t in catalogue)
+    choice = PlatformChoice()
+    for claim in sorted(claims, key=lambda c: (-c.demand, c.owner)):
+        if claim.demand > biggest:
+            raise AnalysisError(
+                f"claim {claim.owner} ({claim.demand}) exceeds the "
+                f"largest catalogue type ({biggest})")
+        placed = False
+        for ecu in choice.ecus:
+            if claim.demand <= usable(ecu.ecu_type) - ecu.load:
+                ecu.owners.append(claim.owner)
+                ecu.load += claim.demand
+                placed = True
+                break
+        if not placed:
+            # Open the cheapest type that can hold this claim.
+            for ecu_type in types_by_capacity:
+                if claim.demand <= usable(ecu_type):
+                    choice.ecus.append(SizedEcu(ecu_type, [claim.owner],
+                                                claim.demand))
+                    placed = True
+                    break
+        if not placed:  # pragma: no cover - guarded by `biggest` check
+            raise AnalysisError(f"claim {claim.owner} not placeable")
+    # Downsizing pass: each ECU gets the cheapest type covering its load.
+    for ecu in choice.ecus:
+        for ecu_type in types_by_capacity:
+            if ecu.load <= usable(ecu_type) \
+                    and ecu_type.cost < ecu.ecu_type.cost:
+                ecu.ecu_type = ecu_type
+                break
+    return choice

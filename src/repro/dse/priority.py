@@ -1,0 +1,93 @@
+"""Priority assignment algorithms.
+
+* Deadline-monotonic assignment — optimal for constrained-deadline
+  synchronous task sets under fixed priorities;
+* Audsley's optimal priority assignment (OPA) — finds a feasible
+  assignment whenever one exists, using the response-time test as the
+  schedulability oracle;
+* CAN identifier assignment — deadline-monotonic order mapped onto
+  11-bit identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.analysis.rta import response_time
+from repro.analysis.sensitivity import replace_spec
+from repro.osek.task import TaskSpec
+from repro.network.can import CanFrameSpec
+
+
+def deadline_monotonic(tasks: list[TaskSpec]) -> list[TaskSpec]:
+    """Return copies with priorities assigned by deadline (shortest
+    deadline = highest priority; ties broken by name for determinism)."""
+    for task in tasks:
+        if task.deadline is None:
+            raise AnalysisError(
+                f"task {task.name}: deadline-monotonic assignment needs "
+                f"deadlines")
+    ordered = sorted(tasks, key=lambda t: (t.deadline, t.name))
+    level = len(ordered)
+    out = []
+    for task in ordered:
+        out.append(replace_spec(task, priority=level))
+        level -= 1
+    return out
+
+
+def audsley(tasks: list[TaskSpec]) -> Optional[list[TaskSpec]]:
+    """Audsley's OPA: assign priorities lowest-first.
+
+    At each level, find some unassigned task that is schedulable at that
+    level assuming all other unassigned tasks have higher priority.
+    Returns priority-assigned copies, or None if no feasible assignment
+    exists.
+    """
+    remaining = list(tasks)
+    assigned: list[TaskSpec] = []
+    level = 1
+    while remaining:
+        placed = None
+        for candidate in sorted(remaining, key=lambda t: -t.deadline
+                                if t.deadline is not None else 0):
+            trial = replace_spec(candidate, priority=level)
+            others = [replace_spec(t, priority=level + 1)
+                      for t in remaining if t.name != candidate.name]
+            try:
+                wcrt = response_time(trial, others + [trial])
+            except AnalysisError:
+                continue
+            if trial.deadline is None or wcrt <= trial.deadline:
+                placed = candidate
+                assigned.append(trial)
+                break
+        if placed is None:
+            return None
+        remaining = [t for t in remaining if t.name != placed.name]
+        level += 1
+    return assigned
+
+
+def assign_can_ids(frames: list[CanFrameSpec],
+                   base_id: int = 0x100) -> list[CanFrameSpec]:
+    """Deadline-monotonic CAN identifier assignment.
+
+    Shorter deadline -> lower identifier -> higher arbitration priority.
+    Returns new frame specs; relative order of equal deadlines follows
+    the frame name for determinism.
+    """
+    for frame in frames:
+        if frame.deadline is None:
+            raise AnalysisError(
+                f"frame {frame.name}: needs a deadline (or period)")
+    ordered = sorted(frames, key=lambda f: (f.deadline, f.name))
+    out = []
+    for index, frame in enumerate(ordered):
+        out.append(CanFrameSpec(frame.name, base_id + index,
+                                dlc=frame.dlc, period=frame.period,
+                                deadline=frame.deadline,
+                                extended=frame.extended,
+                                jitter=frame.jitter))
+    return out

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` from misuse still propagate where appropriate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A model or platform was configured inconsistently.
+
+    Raised by "prior to implementation system configuration checks"
+    (paper Section 2): duplicate identifiers, unmapped components, slot
+    overlaps, frames exceeding payload capacity, and similar static problems.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not honour its invariants (e.g. budget overrun
+    in an enforced-isolation policy, or an unschedulable TT table)."""
+
+
+class AnalysisError(ReproError):
+    """A timing-analysis routine cannot produce a bound.
+
+    The most common case is non-convergence: utilization above 1, or a
+    response-time recurrence that exceeds its deadline/period ceiling.
+    """
+
+
+class ContractError(ReproError):
+    """Contract algebra failure: incompatible interfaces, failed dominance,
+    or an unsatisfied vertical assumption."""
+
+
+class CompositionError(ReproError):
+    """Components cannot be composed: port type mismatch, dangling
+    connector, or duplicate port names."""
+
+
+class FaultContainmentViolation(ReproError):
+    """A fault escaped its containment region.
+
+    Raised by containment monitors when a fault injected into one
+    fault-containment unit observably perturbs another (paper Section 4,
+    requirement 4: "error containment").
+    """
+
+
+class ProtocolError(ReproError):
+    """A communication controller violated its protocol rules
+    (e.g. transmission outside the node's TDMA slot without a fault model)."""

@@ -1,0 +1,20 @@
+"""Fault injection and containment monitoring (paper Section 4)."""
+
+from repro.faults.injector import (CanNodeAdapter, ComSignalAdapter,
+                                   FaultAdapter, FaultInjector,
+                                   IpCoreAdapter, TaskAdapter,
+                                   TtpNodeAdapter)
+from repro.faults.model import (BABBLING, CORRUPTION, CRASH, FAULT_KINDS,
+                                Fault, OMISSION, TIMING_OVERRUN)
+from repro.faults.monitor import (DAMAGE_CATEGORIES, assert_contained,
+                                  compare_runs, containment_violations,
+                                  degradation, is_isolated)
+
+__all__ = [
+    "CanNodeAdapter", "ComSignalAdapter", "FaultAdapter", "FaultInjector",
+    "IpCoreAdapter", "TaskAdapter", "TtpNodeAdapter",
+    "BABBLING", "CORRUPTION", "CRASH", "FAULT_KINDS", "Fault", "OMISSION",
+    "TIMING_OVERRUN",
+    "DAMAGE_CATEGORIES", "assert_contained", "compare_runs",
+    "containment_violations", "degradation", "is_isolated",
+]

@@ -1,0 +1,242 @@
+"""Fault injection: adapters apply fault kinds to concrete subsystems.
+
+An adapter knows how to switch one fault kind on and off for one target
+(a TTP node, an OS task, a CAN controller, an IP core).  The
+:class:`FaultInjector` schedules activation/deactivation on the simulator
+and keeps the fault log the containment monitors read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.model import (BABBLING, CORRUPTION, CRASH, Fault,
+                                OMISSION, TIMING_OVERRUN)
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+
+class FaultAdapter:
+    """Base adapter: subclasses implement apply/revert per fault kind."""
+
+    #: fault kinds this adapter supports.
+    supports: tuple = ()
+
+    def __init__(self, target_name: str):
+        self.target_name = target_name
+
+    def apply(self, fault: Fault) -> None:
+        """Switch the fault on (subclass responsibility)."""
+        raise NotImplementedError
+
+    def revert(self, fault: Fault) -> None:
+        """Switch the fault off (subclass responsibility)."""
+        raise NotImplementedError
+
+    def check(self, fault: Fault) -> None:
+        """Reject fault kinds this adapter does not support."""
+        if fault.kind not in self.supports:
+            raise ConfigurationError(
+                f"adapter for {self.target_name} does not support "
+                f"{fault.kind!r} (supports {self.supports})")
+
+
+class TtpNodeAdapter(FaultAdapter):
+    """Faults on a TTP cluster node."""
+
+    supports = (CRASH, BABBLING)
+
+    def __init__(self, node):
+        super().__init__(node.name)
+        self.node = node
+
+    def apply(self, fault: Fault) -> None:
+        """Activate the fault on the TTP node."""
+        if fault.kind == CRASH:
+            self.node.crash()
+        else:
+            self.node.start_babbling()
+
+    def revert(self, fault: Fault) -> None:
+        """Deactivate the fault on the TTP node."""
+        if fault.kind == CRASH:
+            self.node.recover()
+        else:
+            self.node.stop_babbling()
+
+
+class TaskAdapter(FaultAdapter):
+    """Faults on an OS task: execution-time overruns and crashes
+    (crash = activations stop producing work: modelled by forcing a
+    1-tick execution that performs no output via the overrun hook is not
+    faithful, so crash instead suppresses activations)."""
+
+    supports = (TIMING_OVERRUN, CRASH)
+
+    def __init__(self, kernel, task):
+        super().__init__(task.name)
+        self.kernel = kernel
+        self.task = task
+        self._saved_execution_time = None
+        self._saved_max_activations = None
+
+    def apply(self, fault: Fault) -> None:
+        """Activate the overrun or crash behaviour on the task."""
+        if fault.kind == TIMING_OVERRUN:
+            factor = fault.params.get("factor", 10.0)
+            base = self.task.spec.wcet
+            self._saved_execution_time = self.task.execution_time
+            self.task.execution_time = lambda: max(1, round(base * factor))
+        else:  # CRASH: drop all future activations
+            self._saved_max_activations = self.task.spec.max_activations
+            self.task.spec.max_activations = 0
+
+    def revert(self, fault: Fault) -> None:
+        """Restore the task's healthy behaviour."""
+        if fault.kind == TIMING_OVERRUN:
+            self.task.execution_time = self._saved_execution_time
+        else:
+            self.task.spec.max_activations = self._saved_max_activations
+
+
+class CanNodeAdapter(FaultAdapter):
+    """Faults on a CAN controller: babbling idiot (floods the bus with a
+    top-priority frame) and crash (bus-off)."""
+
+    supports = (BABBLING, CRASH)
+
+    def __init__(self, sim: Simulator, controller, flood_period: int,
+                 flood_id: int = 0):
+        super().__init__(controller.node)
+        self.sim = sim
+        self.controller = controller
+        self.flood_period = flood_period
+        self.flood_id = flood_id
+        self._flood_handle = None
+
+    def apply(self, fault: Fault) -> None:
+        """Start flooding (babbling) or go bus-off (crash)."""
+        if fault.kind == CRASH:
+            self.controller.set_bus_off(True)
+            return
+        from repro.network.can import CanFrameSpec
+        spec = CanFrameSpec(f"babble.{self.target_name}", self.flood_id,
+                            dlc=8)
+
+        def flood():
+            self.controller.send(spec, payload=0)
+            self._flood_handle = self.sim.schedule(self.flood_period, flood)
+
+        self._flood_handle = self.sim.schedule(0, flood)
+
+    def revert(self, fault: Fault) -> None:
+        """Stop the fault; babbling reverts flush the backlog."""
+        if fault.kind == CRASH:
+            self.controller.set_bus_off(False)
+            return
+        if self._flood_handle is not None:
+            self._flood_handle.cancel()
+            self._flood_handle = None
+        # Fault end models a controller reset: drop the babble backlog.
+        self.controller.flush()
+
+
+class IpCoreAdapter(FaultAdapter):
+    """Faults on an MPSoC IP core."""
+
+    supports = (BABBLING,)
+
+    def __init__(self, core, victim, interval: int):
+        super().__init__(core.name)
+        self.core = core
+        self.victim = victim
+        self.interval = interval
+
+    def apply(self, fault: Fault) -> None:
+        """Start the core's babbling flood."""
+        self.core.start_babbling(self.victim, self.interval)
+
+    def revert(self, fault: Fault) -> None:
+        """Stop the core's babbling flood."""
+        self.core.stop_babbling()
+
+
+class ComSignalAdapter(FaultAdapter):
+    """Faults on a COM signal path: omission (drop every reception) and
+    corruption (overwrite received values)."""
+
+    supports = (OMISSION, CORRUPTION)
+
+    def __init__(self, com_stack, signal_name: str):
+        super().__init__(f"{com_stack.node}:{signal_name}")
+        self.com = com_stack
+        self.signal_name = signal_name
+        self._original_on_pdu = None
+        self._active_fault = None
+
+    def apply(self, fault: Fault) -> None:
+        """Interpose on the COM rx path (omission/corruption)."""
+        self._active_fault = fault
+        if self._original_on_pdu is None:
+            self._original_on_pdu = self.com._on_pdu
+            self.com._on_pdu = self._filtered_on_pdu
+
+    def revert(self, fault: Fault) -> None:
+        """Stop filtering; the interposer stays installed but passive."""
+        self._active_fault = None
+
+    def _filtered_on_pdu(self, pdu_name: str, payload: int) -> None:
+        fault = self._active_fault
+        if fault is None:
+            self._original_on_pdu(pdu_name, payload)
+            return
+        ipdu = self.com._rx_pdus.get(pdu_name)
+        if ipdu is None or self.signal_name not in ipdu.signal_names():
+            self._original_on_pdu(pdu_name, payload)
+            return
+        if fault.kind == OMISSION:
+            return  # drop the whole PDU carrying the signal
+        mapping = ipdu.mapping_of(self.signal_name)
+        stuck = fault.params.get("value", mapping.spec.max_value)
+        mask = ((1 << mapping.spec.width_bits) - 1) << mapping.start_bit
+        corrupted = (payload & ~mask) | (stuck << mapping.start_bit)
+        self._original_on_pdu(pdu_name, corrupted)
+
+
+class FaultInjector:
+    """Schedules faults and keeps the injection log."""
+
+    def __init__(self, sim: Simulator, trace: Optional[Trace] = None):
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.faults: list[Fault] = []
+
+    def inject(self, adapter: FaultAdapter, fault: Fault) -> Fault:
+        """Schedule a fault's activation (and deactivation) window."""
+        adapter.check(fault)
+        self.faults.append(fault)
+
+        def activate():
+            fault.active = True
+            adapter.apply(fault)
+            self.trace.log(self.sim.now, "fault.activate", fault.target,
+                           kind=fault.kind)
+
+        self.sim.schedule_at(max(self.sim.now, fault.start), activate)
+        if fault.duration is not None:
+            def deactivate():
+                fault.active = False
+                adapter.revert(fault)
+                self.trace.log(self.sim.now, "fault.deactivate",
+                               fault.target, kind=fault.kind)
+
+            self.sim.schedule_at(max(self.sim.now, fault.end), deactivate)
+        return fault
+
+    def active_faults(self) -> list[Fault]:
+        """Faults currently switched on."""
+        return [fault for fault in self.faults if fault.active]
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector faults={len(self.faults)}>"

@@ -1,0 +1,63 @@
+"""Fault vocabulary.
+
+The paper's Section 4 is about *fault containment*: a fault in one
+component (hardware or software) must not disturb others.  The kinds
+modelled here cover the failure modes the paper and its references name:
+
+* ``CRASH`` — fail-silent: the element stops producing output;
+* ``BABBLING`` — babbling idiot: the element transmits continuously,
+  including outside its rights;
+* ``TIMING_OVERRUN`` — software exceeds its execution-time budget;
+* ``OMISSION`` — sporadic message loss;
+* ``CORRUPTION`` — delivered values are wrong (detected by range checks
+  or CRC at the consumer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+CRASH = "crash"
+BABBLING = "babbling"
+TIMING_OVERRUN = "timing_overrun"
+OMISSION = "omission"
+CORRUPTION = "corruption"
+
+FAULT_KINDS = (CRASH, BABBLING, TIMING_OVERRUN, OMISSION, CORRUPTION)
+
+
+@dataclass
+class Fault:
+    """One injected fault: what, where, when, for how long."""
+
+    kind: str
+    target: str
+    start: int
+    duration: Optional[int] = None  # None = permanent
+    params: dict = field(default_factory=dict)
+    active: bool = False
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; use one of "
+                f"{FAULT_KINDS}")
+        if self.start < 0:
+            raise ConfigurationError("fault start must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError("fault duration must be > 0")
+
+    @property
+    def end(self) -> Optional[int]:
+        """Absolute deactivation time (None = permanent)."""
+        if self.duration is None:
+            return None
+        return self.start + self.duration
+
+    def __repr__(self) -> str:
+        window = (f"[{self.start}, {self.end})" if self.end is not None
+                  else f"[{self.start}, inf)")
+        return f"<Fault {self.kind} on {self.target} {window}>"

@@ -1,0 +1,6 @@
+"""Legacy middleware: CAN overlay on time-triggered platforms."""
+
+from repro.legacy.can_overlay import (CanOverlay, FRAME_OVERHEAD_BYTES,
+                                      VirtualCanController)
+
+__all__ = ["CanOverlay", "FRAME_OVERHEAD_BYTES", "VirtualCanController"]

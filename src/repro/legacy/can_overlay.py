@@ -1,0 +1,147 @@
+"""CAN overlay network on a time-triggered platform.
+
+Section 4: "higher-level application specific services can be implemented
+in middleware such that the APIs that are visible to the application
+software conform with the requirements of existing legacy applications
+(e.g., a CAN overlay network) and support the seamless integration of
+this existing legacy software into the new integrated architecture."
+
+The overlay gives legacy code the familiar controller API —
+``send(CanFrameSpec, payload)`` / ``on_receive(callback)`` — while the
+wire is a TDMA round: each node owns one slot per round and ships its
+queued virtual frames (capacity-bounded) in that slot; receivers see
+frames in identifier order, emulating CAN's priority-ordered delivery
+within a batch.  Latency semantics change from arbitration-based to
+slot-based — experiment E9 measures that overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.network.can import CanFrameSpec
+from repro.network.message import Message
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+#: bytes one virtual frame occupies in a slot: payload + id/len header.
+FRAME_OVERHEAD_BYTES = 3
+
+
+class VirtualCanController:
+    """Drop-in replacement for the legacy controller API."""
+
+    def __init__(self, overlay: "CanOverlay", node: str):
+        self.overlay = overlay
+        self.node = node
+        self._queue: list[tuple[int, int, CanFrameSpec, Message]] = []
+        self._rx_callbacks: list[Callable] = []
+        self.tx_count = 0
+
+    def send(self, spec: CanFrameSpec, payload=None) -> Message:
+        """Queue a frame; it leaves in this node's next TDMA slot."""
+        msg = Message(spec.name, self.node, payload, spec.dlc,
+                      enqueue_time=self.overlay.sim.now)
+        self._queue.append((spec.can_id, msg.seq, spec, msg))
+        self._queue.sort()
+        return msg
+
+    def on_receive(self, callback: Callable) -> None:
+        """Register a frame-reception callback (legacy controller API)."""
+        self._rx_callbacks.append(callback)
+
+    @property
+    def pending(self) -> int:
+        """Frames queued and not yet shipped in a slot."""
+        return len(self._queue)
+
+    def _deliver(self, spec: CanFrameSpec, msg: Message) -> None:
+        for callback in self._rx_callbacks:
+            callback(spec, msg)
+
+    def __repr__(self) -> str:
+        return f"<VirtualCanController {self.node} pending={self.pending}>"
+
+
+class CanOverlay:
+    """The TDMA engine carrying virtual CAN frames."""
+
+    def __init__(self, sim: Simulator, node_names: list[str],
+                 slot_length: int, slot_capacity_bytes: int = 32,
+                 trace: Optional[Trace] = None, name: str = "CAN-OVERLAY"):
+        if not node_names or len(set(node_names)) != len(node_names):
+            raise ConfigurationError("need unique, non-empty node names")
+        if slot_length <= 0 or slot_capacity_bytes <= 0:
+            raise ConfigurationError(
+                "slot_length and slot_capacity_bytes must be > 0")
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.name = name
+        self.slot_length = slot_length
+        self.slot_capacity_bytes = slot_capacity_bytes
+        self.controllers = {n: VirtualCanController(self, n)
+                            for n in node_names}
+        self._order = list(node_names)
+        self.frames_delivered = 0
+        self._started = False
+
+    @property
+    def round_length(self) -> int:
+        """Duration of one TDMA round over all nodes."""
+        return self.slot_length * len(self._order)
+
+    def attach(self, node: str) -> VirtualCanController:
+        """Controller of a configured node (legacy bus API)."""
+        controller = self.controllers.get(node)
+        if controller is None:
+            raise ConfigurationError(f"{self.name}: unknown node {node!r}")
+        return controller
+
+    def start(self) -> None:
+        """Begin the TDMA rounds at the current time."""
+        if self._started:
+            raise ConfigurationError(f"{self.name} already started")
+        self._started = True
+        self._schedule_slot(0)
+
+    def worst_case_latency(self) -> int:
+        """Uncongested bound: miss your slot, wait a round, transmit."""
+        return self.round_length + self.slot_length
+
+    # ------------------------------------------------------------------
+    def _schedule_slot(self, index: int) -> None:
+        self.sim.schedule(self.slot_length, lambda: self._slot_end(index))
+
+    def _slot_end(self, index: int) -> None:
+        owner = self.controllers[self._order[index]]
+        budget = self.slot_capacity_bytes
+        batch = []
+        while owner._queue:
+            can_id, seq, spec, msg = owner._queue[0]
+            cost = spec.dlc + FRAME_OVERHEAD_BYTES
+            if cost > budget:
+                break
+            owner._queue.pop(0)
+            budget -= cost
+            batch.append((spec, msg))
+        now = self.sim.now
+        for spec, msg in batch:
+            msg.tx_start = now - self.slot_length
+            msg.rx_time = now
+            owner.tx_count += 1
+            self.frames_delivered += 1
+            self.trace.log(now, "overlay.rx", spec.name, node=owner.node,
+                           latency=msg.latency)
+            for node, peer in self.controllers.items():
+                if peer is not owner:
+                    peer._deliver(spec, msg)
+        self._schedule_slot((index + 1) % len(self._order))
+
+    def latencies(self, frame_name: Optional[str] = None) -> list[int]:
+        """Observed enqueue-to-delivery latencies (optionally per frame)."""
+        return [r.data["latency"]
+                for r in self.trace.records("overlay.rx", frame_name)]
+
+    def __repr__(self) -> str:
+        return f"<CanOverlay {self.name} nodes={len(self.controllers)}>"

@@ -1,0 +1,26 @@
+"""Automotive communication substrates.
+
+Event-triggered: :mod:`repro.network.can`.
+Time-triggered: :mod:`repro.network.flexray`, :mod:`repro.network.ttp`,
+:mod:`repro.network.tte`; guardians in :mod:`repro.network.guardian`.
+"""
+
+from repro.network.can import (CanBus, CanController, CanFrameSpec,
+                               ERROR_FRAME_BITS, frame_bits, frame_time)
+from repro.network.flexray import (CYCLE_COUNT_MAX, DynamicFrameSpec,
+                                   FlexRayBus, FlexRayConfig,
+                                   FlexRayController, StaticSlotAssignment)
+from repro.network.guardian import SlotGuardian
+from repro.network.message import Message
+from repro.network.ttp import TtpCluster, TtpNode
+from repro.network.tte import (TtEthernetSwitch, TtFrameSpec, TtWindow,
+                               ethernet_frame_time)
+
+__all__ = [
+    "CanBus", "CanController", "CanFrameSpec", "ERROR_FRAME_BITS",
+    "frame_bits", "frame_time",
+    "CYCLE_COUNT_MAX", "DynamicFrameSpec", "FlexRayBus", "FlexRayConfig",
+    "FlexRayController", "StaticSlotAssignment",
+    "SlotGuardian", "Message", "TtpCluster", "TtpNode",
+    "TtEthernetSwitch", "TtFrameSpec", "TtWindow", "ethernet_frame_time",
+]

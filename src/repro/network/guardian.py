@@ -1,0 +1,56 @@
+"""Bus guardian: independent enforcement of a node's transmission windows.
+
+The paper (Section 4) attributes fault containment in time-triggered
+architectures to guardians that hold an *independent* copy of the schedule:
+even a babbling-idiot controller cannot disturb other nodes' slots because
+the guardian physically gates its transmit path.  :class:`SlotGuardian` is
+the reusable window check used by the TTP model (and available to any
+TDMA-style medium).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class SlotGuardian:
+    """Knows the periodic windows in which one node may transmit.
+
+    ``windows`` are ``(start, length)`` pairs within a period of
+    ``period`` ns.  A guardian with ``enabled=False`` is a pass-through —
+    the baseline against which containment is measured.
+    """
+
+    def __init__(self, node: str, windows: list[tuple[int, int]],
+                 period: int, enabled: bool = True):
+        if period <= 0:
+            raise ConfigurationError("guardian period must be > 0")
+        for start, length in windows:
+            if length <= 0 or start < 0 or start + length > period:
+                raise ConfigurationError(
+                    f"guardian window ({start},{length}) outside period")
+        self.node = node
+        self.windows = sorted(windows)
+        self.period = period
+        self.enabled = enabled
+        self.blocked_count = 0
+
+    def in_window(self, time: int) -> bool:
+        """Whether the node's schedule permits transmission at ``time``."""
+        phase = time % self.period
+        return any(s <= phase < s + length for s, length in self.windows)
+
+    def permit(self, time: int) -> bool:
+        """Gate a transmission attempt: True = allowed onto the medium.
+
+        A disabled guardian always permits.  Blocked attempts are counted
+        for the containment monitors.
+        """
+        if not self.enabled or self.in_window(time):
+            return True
+        self.blocked_count += 1
+        return False
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "DISABLED"
+        return f"<SlotGuardian {self.node} {state} windows={self.windows}>"

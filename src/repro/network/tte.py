@@ -1,0 +1,250 @@
+"""Time-triggered Ethernet-like switched channel.
+
+Models the property the paper cites TT-Ethernet for: partitioning one
+physical channel into a time-triggered class with fixed, interference-free
+latency and a best-effort class that uses the gaps.  Per egress port:
+
+* **TT windows** come from a static schedule ``(offset, duration, period)``;
+  a TT frame leaves exactly at its window and arrives after wire+switch
+  delay, regardless of best-effort load;
+* **best-effort frames** are FIFO-queued and may only start if they finish
+  before the next TT window on the port (guard-band rule), otherwise they
+  wait until after it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.network.message import Message
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+from repro.units import bit_time
+
+#: Ethernet per-frame overhead: preamble+SFD(8) + header(14) + FCS(4) + IFG(12).
+_FRAME_OVERHEAD_BYTES = 38
+_MIN_PAYLOAD = 46
+
+
+class TtWindow:
+    """One periodic TT reservation on an egress port."""
+
+    def __init__(self, offset: int, duration: int, period: int):
+        if duration <= 0 or period <= 0 or offset < 0 or offset >= period:
+            raise ConfigurationError(
+                f"bad TT window offset={offset} duration={duration} "
+                f"period={period}")
+        if duration > period:
+            raise ConfigurationError("window duration exceeds its period")
+        self.offset = offset
+        self.duration = duration
+        self.period = period
+
+    def next_start(self, t: int) -> int:
+        """First window start >= t."""
+        k = max(0, -(-(t - self.offset) // self.period))
+        return self.offset + k * self.period
+
+    def covering(self, t: int) -> Optional[tuple[int, int]]:
+        """(start, end) of the window instance containing ``t``, if any."""
+        if t < self.offset:
+            return None
+        k = (t - self.offset) // self.period
+        start = self.offset + k * self.period
+        if start <= t < start + self.duration:
+            return (start, start + self.duration)
+        return None
+
+
+def ethernet_frame_time(payload_bytes: int, bitrate_bps: int) -> int:
+    """Wire time of a frame with the given payload (padded to minimum)."""
+    payload = max(_MIN_PAYLOAD, payload_bytes)
+    return (payload + _FRAME_OVERHEAD_BYTES) * 8 * bit_time(bitrate_bps)
+
+
+class _EgressPort:
+    """Per-receiver egress port: TT reservations plus a BE queue."""
+
+    def __init__(self, switch: "TtEthernetSwitch", node: str):
+        self.switch = switch
+        self.node = node
+        self.windows: list[TtWindow] = []
+        self.be_queue: list[tuple[Message, int]] = []
+        self.busy_until = 0
+        self._be_timer_armed = False
+
+    def earliest_be_start(self, t: int, duration: int) -> int:
+        """Earliest start >= t such that [start, start+duration) avoids
+        every TT window (guard-band rule)."""
+        start = max(t, self.busy_until)
+        for _ in range(1000):
+            conflict = None
+            for window in self.windows:
+                covering = window.covering(start)
+                if covering is not None:
+                    conflict = covering[1]
+                    break
+                nxt = window.next_start(start)
+                if nxt < start + duration:
+                    conflict = nxt + window.duration
+                    break
+            if conflict is None:
+                return start
+            start = conflict
+        raise ConfigurationError(
+            f"port {self.node}: no best-effort gap of {duration} ns found "
+            f"(TT schedule saturates the port)")
+
+
+class TtFrameSpec:
+    """A scheduled TT stream: sender -> receivers at fixed instants."""
+
+    def __init__(self, name: str, sender: str, receivers: list[str],
+                 offset: int, period: int, size_bytes: int = 64):
+        if period <= 0 or offset < 0:
+            raise ConfigurationError(f"TT frame {name}: bad offset/period")
+        if not receivers:
+            raise ConfigurationError(f"TT frame {name}: no receivers")
+        self.name = name
+        self.sender = sender
+        self.receivers = receivers
+        self.offset = offset
+        self.period = period
+        self.size_bytes = size_bytes
+
+
+class TtEthernetSwitch:
+    """One switch connecting all nodes (star topology).
+
+    ``switch_delay`` is the constant store-and-forward latency added to
+    every frame's wire time.
+    """
+
+    def __init__(self, sim: Simulator, bitrate_bps: int = 100_000_000,
+                 switch_delay: int = 2_000, trace: Optional[Trace] = None,
+                 name: str = "TTE"):
+        self.sim = sim
+        self.bitrate_bps = bitrate_bps
+        self.switch_delay = switch_delay
+        self.trace = trace if trace is not None else Trace()
+        self.name = name
+        self.ports: dict[str, _EgressPort] = {}
+        self._tt_frames: list[TtFrameSpec] = []
+        self._tt_buffers: dict[str, object] = {}
+        self._rx_callbacks: dict[str, list[Callable]] = {}
+        self._started = False
+
+    def attach(self, node: str) -> None:
+        """Attach a node port to the switch."""
+        if node in self.ports:
+            raise ConfigurationError(f"node {node!r} already attached")
+        self.ports[node] = _EgressPort(self, node)
+        self._rx_callbacks[node] = []
+
+    def on_receive(self, node: str, callback: Callable) -> None:
+        """Register a reception callback for a node."""
+        self._rx_callbacks[node].append(callback)
+
+    # ------------------------------------------------------------------
+    # TT class
+    # ------------------------------------------------------------------
+    def schedule_tt(self, spec: TtFrameSpec) -> None:
+        """Install a TT stream; reserves windows on all receiver ports."""
+        for node in [spec.sender] + spec.receivers:
+            if node not in self.ports:
+                raise ConfigurationError(
+                    f"TT frame {spec.name}: unknown node {node!r}")
+        duration = ethernet_frame_time(spec.size_bytes, self.bitrate_bps)
+        for receiver in spec.receivers:
+            self.ports[receiver].windows.append(
+                TtWindow(spec.offset % spec.period, duration, spec.period))
+        self._tt_frames.append(spec)
+
+    def set_tt_payload(self, frame_name: str, payload) -> None:
+        """Update the value a TT stream carries (sender overwrites)."""
+        self._tt_buffers[frame_name] = (payload, self.sim.now)
+
+    def start(self) -> None:
+        """Begin dispatching the scheduled TT streams."""
+        if self._started:
+            raise ConfigurationError(f"{self.name} already started")
+        self._started = True
+        for spec in self._tt_frames:
+            self._schedule_tt_dispatch(spec, spec.offset)
+
+    def _schedule_tt_dispatch(self, spec: TtFrameSpec, when: int) -> None:
+        if when < self.sim.now:
+            when += ((self.sim.now - when) // spec.period + 1) * spec.period
+        self.sim.schedule_at(when, lambda: self._tt_dispatch(spec, when))
+
+    def _tt_dispatch(self, spec: TtFrameSpec, when: int) -> None:
+        payload, stamp = self._tt_buffers.get(spec.name, (None, when))
+        duration = ethernet_frame_time(spec.size_bytes, self.bitrate_bps)
+        arrival = when + duration + self.switch_delay
+        msg = Message(spec.name, spec.sender, payload, spec.size_bytes,
+                      enqueue_time=stamp)
+        msg.tx_start = when
+        msg.rx_time = arrival
+
+        def deliver():
+            self.trace.log(arrival, "tte.rx_tt", spec.name,
+                           sender=spec.sender, latency=msg.latency)
+            for receiver in spec.receivers:
+                for callback in self._rx_callbacks[receiver]:
+                    callback(spec.name, msg)
+
+        self.sim.schedule_at(arrival, deliver)
+        self._schedule_tt_dispatch(spec, when + spec.period)
+
+    # ------------------------------------------------------------------
+    # Best-effort class
+    # ------------------------------------------------------------------
+    def send_be(self, sender: str, receiver: str, payload=None,
+                size_bytes: int = 1500) -> Message:
+        """Queue one best-effort frame; transmitted in TT gaps, FIFO."""
+        if receiver not in self.ports:
+            raise ConfigurationError(f"unknown receiver {receiver!r}")
+        duration = ethernet_frame_time(size_bytes, self.bitrate_bps)
+        msg = Message(f"be.{sender}->{receiver}", sender, payload, size_bytes,
+                      enqueue_time=self.sim.now)
+        port = self.ports[receiver]
+        port.be_queue.append((msg, duration))
+        self._pump_be(port)
+        return msg
+
+    def _pump_be(self, port: _EgressPort) -> None:
+        if port._be_timer_armed or not port.be_queue:
+            return
+        msg, duration = port.be_queue[0]
+        start = port.earliest_be_start(self.sim.now, duration)
+        port._be_timer_armed = True
+
+        def transmit():
+            port.be_queue.pop(0)
+            port.busy_until = self.sim.now + duration
+            end = port.busy_until + self.switch_delay
+
+            def deliver():
+                port._be_timer_armed = False
+                msg.tx_start = start
+                msg.rx_time = self.sim.now
+                self.trace.log(self.sim.now, "tte.rx_be", msg.name,
+                               sender=msg.sender, latency=msg.latency)
+                for callback in self._rx_callbacks[port.node]:
+                    callback(msg.name, msg)
+                self._pump_be(port)
+
+            self.sim.schedule_at(end, deliver)
+
+        self.sim.schedule_at(start, transmit)
+
+    def latencies(self, category: str, name: Optional[str] = None
+                  ) -> list[int]:
+        """Observed latencies; ``category`` is ``"tt"`` or ``"be"``."""
+        return [r.data["latency"]
+                for r in self.trace.records(f"tte.rx_{category}", name)]
+
+    def __repr__(self) -> str:
+        return (f"<TtEthernetSwitch {self.name} ports={len(self.ports)} "
+                f"tt_frames={len(self._tt_frames)}>")

@@ -1,0 +1,11 @@
+"""MPSoC execution platform: mesh topology, interconnects, IP cores."""
+
+from repro.noc.interconnect import (Interconnect, MAX_MESSAGE_BYTES,
+                                    SharedBusInterconnect, TdmaNoc)
+from repro.noc.mpsoc import IpCore, Mpsoc
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "Interconnect", "MAX_MESSAGE_BYTES", "SharedBusInterconnect", "TdmaNoc",
+    "IpCore", "Mpsoc", "MeshTopology",
+]

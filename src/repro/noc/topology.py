@@ -1,0 +1,63 @@
+"""NoC topologies.
+
+A :class:`MeshTopology` places IP cores on a 2-D grid with dimension-order
+(XY) routing — the standard NoC arrangement the paper's MPSoC vision
+assumes.  Only the hop count matters for the timing models; link-level
+detail lives in the interconnect classes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class MeshTopology:
+    """A ``width x height`` mesh of core positions."""
+
+    def __init__(self, width: int, height: int):
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def size(self) -> int:
+        """Total number of core positions."""
+        return self.width * self.height
+
+    def position(self, index: int) -> tuple[int, int]:
+        """(x, y) of the core with the given linear index (row-major)."""
+        if not 0 <= index < self.size:
+            raise ConfigurationError(
+                f"core index {index} outside 0..{self.size - 1}")
+        return (index % self.width, index // self.width)
+
+    def index(self, x: int, y: int) -> int:
+        """Linear index of the core at (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(f"position ({x},{y}) outside mesh")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance: hop count under XY routing."""
+        sx, sy = self.position(src)
+        dx, dy = self.position(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def xy_route(self, src: int, dst: int) -> list[int]:
+        """Core indices along the XY route (exclusive of src, inclusive
+        of dst)."""
+        sx, sy = self.position(src)
+        dx, dy = self.position(dst)
+        route = []
+        x, y = sx, sy
+        while x != dx:
+            x += 1 if dx > x else -1
+            route.append(self.index(x, y))
+        while y != dy:
+            y += 1 if dy > y else -1
+            route.append(self.index(x, y))
+        return route
+
+    def __repr__(self) -> str:
+        return f"<MeshTopology {self.width}x{self.height}>"

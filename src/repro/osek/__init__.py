@@ -1,0 +1,27 @@
+"""AUTOSAR/OSEK-like operating system layer.
+
+Provides the task model, three scheduling policies (fixed priority, strict
+TDMA partitions, deferrable reservation servers), OSEK alarms, events,
+ICPP resources, and a simulated ECU kernel with timing protection.
+"""
+
+from repro.osek.alarm import Alarm
+from repro.osek.events import OsekEvent
+from repro.osek.kernel import EcuKernel
+from repro.osek.resource import OsekResource
+from repro.osek.schedule_table import ExpiryPoint, ScheduleTable
+from repro.osek.scheduler import FixedPriorityScheduler, Scheduler
+from repro.osek.server import DeferrableServerScheduler, ServerSpec
+from repro.osek.task import (CRITICALITY_LEVELS, Acquire, Execute, Job,
+                             JobState, Release, Task, TaskSpec, WaitEvent)
+from repro.osek.tdma import TdmaScheduler, Window, build_even_schedule
+
+__all__ = [
+    "Alarm", "OsekEvent", "EcuKernel", "ExpiryPoint", "OsekResource",
+    "ScheduleTable",
+    "FixedPriorityScheduler", "Scheduler",
+    "DeferrableServerScheduler", "ServerSpec",
+    "CRITICALITY_LEVELS", "Acquire", "Execute", "Job", "JobState",
+    "Release", "Task", "TaskSpec", "WaitEvent",
+    "TdmaScheduler", "Window", "build_even_schedule",
+]

@@ -1,0 +1,49 @@
+"""OSEK events for extended tasks.
+
+An extended task suspends with a ``WaitEvent`` requirement in its body and
+is re-readied when another task (or an alarm, or an ISR model) sets the
+event.  Events are sticky: setting an event nobody waits on is remembered
+until consumed.
+"""
+
+from __future__ import annotations
+
+from repro.osek.task import Job
+
+
+class OsekEvent:
+    """A settable/clearable event flag jobs can wait on."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.is_set = False
+        self._waiters: list[Job] = []
+        self._kernel = None
+        self.set_count = 0
+
+    def _bind(self, kernel) -> None:
+        self._kernel = kernel
+
+    def set(self) -> None:
+        """Set the event, waking all waiting jobs."""
+        self.is_set = True
+        self.set_count += 1
+        if self._waiters and self._kernel is not None:
+            waiters, self._waiters = self._waiters, []
+            self._kernel._wake_jobs(waiters, self)
+
+    def clear(self) -> None:
+        """Clear the event flag."""
+        self.is_set = False
+
+    def _add_waiter(self, job: Job) -> None:
+        self._waiters.append(job)
+
+    @property
+    def waiter_count(self) -> int:
+        """Jobs currently blocked on the event."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        state = "set" if self.is_set else "clear"
+        return f"<OsekEvent {self.name} {state}>"

@@ -1,0 +1,143 @@
+"""Reservation-based scheduling: deferrable servers.
+
+Each partition gets a *server* with a budget ``Q`` replenished every period
+``P`` and a fixed priority.  Tasks of the partition execute at the server's
+priority while the server has budget; when the budget is exhausted they are
+suspended until the next replenishment.  This is the "resource reservation
+policy" of the paper's Section 1: a misbehaving or newly-integrated partition
+can consume at most ``Q`` every ``P`` of the CPU, bounding its interference
+on other partitions while remaining more flexible (work-conserving within
+the budget) than strict TDMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.osek.scheduler import Scheduler
+from repro.osek.task import Job
+
+
+@dataclass
+class ServerSpec:
+    """Reservation parameters for one partition."""
+
+    partition: str
+    budget: int
+    period: int
+    priority: int
+
+    def __post_init__(self):
+        if self.budget <= 0:
+            raise ConfigurationError(
+                f"server {self.partition}: budget must be > 0")
+        if self.period < self.budget:
+            raise ConfigurationError(
+                f"server {self.partition}: period < budget")
+
+    @property
+    def utilization(self) -> float:
+        """Reserved bandwidth (budget / period)."""
+        return self.budget / self.period
+
+
+class _ServerState:
+    """Mutable runtime state (capacity, counters) of one server."""
+
+    def __init__(self, spec: ServerSpec):
+        self.spec = spec
+        self.capacity = spec.budget
+        self.replenishments = 0
+        self.exhaustions = 0
+
+
+class DeferrableServerScheduler(Scheduler):
+    """Fixed-priority scheduling among deferrable servers.
+
+    Jobs whose partition has no server run at their own task priority and
+    compete directly — this models legacy/house tasks next to reserved
+    partitions on the same ECU.
+    """
+
+    def __init__(self, servers: list[ServerSpec]):
+        partitions = [s.partition for s in servers]
+        if len(set(partitions)) != len(partitions):
+            raise ConfigurationError("duplicate server partitions")
+        self._servers = {s.partition: _ServerState(s) for s in servers}
+
+    def attach(self, kernel) -> None:
+        """Bind to the kernel and start the replenishment timers."""
+        super().attach(kernel)
+        for state in self._servers.values():
+            self._schedule_replenishment(state)
+
+    def _schedule_replenishment(self, state: _ServerState) -> None:
+        def replenish():
+            state.capacity = state.spec.budget
+            state.replenishments += 1
+            self._schedule_replenishment(state)
+            self.kernel.request_dispatch()
+
+        self.kernel.sim.schedule(state.spec.period, replenish)
+
+    def server_of(self, job: Job) -> Optional[_ServerState]:
+        """The server backing a job's partition (None = unreserved)."""
+        partition = job.task.spec.partition
+        if partition is None:
+            return None
+        return self._servers.get(partition)
+
+    def _priority_of(self, job: Job) -> int:
+        server = self.server_of(job)
+        if server is None:
+            return job.effective_priority
+        return server.spec.priority
+
+    def select(self, runnable, running, now):
+        """Highest-priority server with budget and a runnable job."""
+        eligible = []
+        for job in runnable:
+            server = self.server_of(job)
+            if server is not None and server.capacity <= 0:
+                continue
+            eligible.append(job)
+        if not eligible:
+            return None
+        return min(eligible, key=lambda j: (-self._priority_of(j), j.seq))
+
+    def max_segment(self, job: Job, now: int) -> Optional[int]:
+        """Bound the segment by the server's remaining capacity."""
+        server = self.server_of(job)
+        if server is None:
+            return None
+        return server.capacity
+
+    def account(self, job: Job, consumed: int, now: int) -> None:
+        """Charge consumed CPU time against the job's server budget."""
+        server = self.server_of(job)
+        if server is None:
+            return
+        server.capacity -= consumed
+        if server.capacity <= 0:
+            server.capacity = 0
+            server.exhaustions += 1
+
+    def capacity(self, partition: str) -> int:
+        """Remaining budget of a partition's server (for tests/monitors)."""
+        return self._servers[partition].capacity
+
+    def stats(self) -> dict:
+        """Per-partition replenishment/exhaustion counters."""
+        return {
+            name: {
+                "replenishments": state.replenishments,
+                "exhaustions": state.exhaustions,
+                "capacity": state.capacity,
+            }
+            for name, state in self._servers.items()
+        }
+
+    def __repr__(self) -> str:
+        return f"<DeferrableServerScheduler {sorted(self._servers)}>"

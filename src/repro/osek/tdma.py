@@ -1,0 +1,145 @@
+"""Table-driven time-partitioned (TDMA) CPU scheduling.
+
+The processor's time line is divided into a repeating *major frame*; each
+partition owns one or more windows inside it.  A task may only execute inside
+a window of its partition, so the CPU behaves like the "nearly independent
+sub-channels" the paper describes for time-triggered buses, applied to
+computation: integrating a new partition cannot change when existing
+partitions execute (temporal isolation by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.osek.scheduler import Scheduler, _fifo_key
+from repro.osek.task import Job
+
+
+@dataclass(frozen=True)
+class Window:
+    """One partition window: ``[start, start + length)`` within the major
+    frame, owned by ``partition``."""
+
+    start: int
+    length: int
+    partition: str
+
+    @property
+    def end(self) -> int:
+        """Exclusive end of the window within the major frame."""
+        return self.start + self.length
+
+
+class TdmaScheduler(Scheduler):
+    """Strict time-partitioned scheduler.
+
+    Within an active window, the owning partition's ready jobs are served
+    by fixed priority.  Outside any window of its partition a job never
+    runs, regardless of CPU idleness — strict (non-work-conserving) TDMA,
+    which is what gives composability.
+    """
+
+    def __init__(self, windows: list[Window], major_frame: int):
+        if major_frame <= 0:
+            raise ConfigurationError("major_frame must be > 0")
+        self.windows = sorted(windows, key=lambda w: w.start)
+        self.major_frame = major_frame
+        self._validate()
+
+    def _validate(self) -> None:
+        prev_end = 0
+        for win in self.windows:
+            if win.length <= 0:
+                raise ConfigurationError(
+                    f"window {win} has non-positive length")
+            if win.start < prev_end:
+                raise ConfigurationError(
+                    f"window {win} overlaps the previous window")
+            if win.end > self.major_frame:
+                raise ConfigurationError(
+                    f"window {win} exceeds major frame {self.major_frame}")
+            prev_end = win.end
+
+    # ------------------------------------------------------------------
+    def partitions(self) -> set:
+        """Names of the partitions owning windows."""
+        return {w.partition for w in self.windows}
+
+    def active_window(self, now: int) -> Optional[Window]:
+        """Window containing ``now``, if any (start inclusive, end
+        exclusive — a window ending exactly now is not active)."""
+        phase = now % self.major_frame
+        for win in self.windows:
+            if win.start <= phase < win.end:
+                return win
+        return None
+
+    def next_window_start(self, now: int) -> Optional[int]:
+        """Absolute start time of the next window strictly after ``now``
+        (or at ``now`` if one starts exactly now and is active)."""
+        if not self.windows:
+            return None
+        phase = now % self.major_frame
+        base = now - phase
+        for win in self.windows:
+            if win.start > phase:
+                return base + win.start
+        return base + self.major_frame + self.windows[0].start
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+    def select(self, runnable, running, now):
+        """Highest-priority ready job of the active window's partition."""
+        win = self.active_window(now)
+        if win is None:
+            return None
+        eligible = [j for j in runnable
+                    if j.task.spec.partition == win.partition]
+        if not eligible:
+            return None
+        return min(eligible, key=_fifo_key)
+
+    def max_segment(self, job: Job, now: int) -> Optional[int]:
+        """Bound the segment by the active window's remaining time."""
+        win = self.active_window(now)
+        if win is None:
+            return 0
+        phase = now % self.major_frame
+        return win.end - phase
+
+    def next_dispatch_time(self, now, has_runnable):
+        """Next window start, when ready jobs are waiting."""
+        if not has_runnable:
+            return None
+        return self.next_window_start(now)
+
+    def __repr__(self) -> str:
+        return (f"<TdmaScheduler {len(self.windows)} windows, "
+                f"major={self.major_frame}>")
+
+
+def build_even_schedule(partitions: list[str], major_frame: int,
+                        slack_fraction: float = 0.0) -> TdmaScheduler:
+    """Convenience constructor: one equal window per partition.
+
+    ``slack_fraction`` of the major frame is left unallocated at the end —
+    headroom "against future changes" (paper Section 1); experiment E8
+    measures how much that reservation buys.
+    """
+    if not partitions:
+        raise ConfigurationError("need at least one partition")
+    if not 0.0 <= slack_fraction < 1.0:
+        raise ConfigurationError(
+            f"slack_fraction must be in [0, 1), got {slack_fraction}")
+    usable = round(major_frame * (1.0 - slack_fraction))
+    width = usable // len(partitions)
+    if width <= 0:
+        raise ConfigurationError(
+            "major frame too small for the requested partitions")
+    windows = [Window(i * width, width, part)
+               for i, part in enumerate(partitions)]
+    return TdmaScheduler(windows, major_frame)

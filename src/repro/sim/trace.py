@@ -1,0 +1,165 @@
+"""Trace recording and querying.
+
+Every simulated subsystem (OS kernel, buses, NoC, BSW services) reports what
+happened through a :class:`Trace`: a flat, time-ordered list of records.
+Analyses over traces (response times, jitter, end-to-end latencies) live in
+:mod:`repro.sim.trace` so that simulation results and analytic bounds can be
+compared with the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Record:
+    """One traced occurrence.
+
+    ``category`` is a dotted event kind such as ``"task.activate"`` or
+    ``"bus.tx_done"``; ``subject`` names the entity (task name, frame id);
+    ``data`` carries event-specific details.
+    """
+
+    time: int
+    category: str
+    subject: str
+    data: dict = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only record store with simple query helpers."""
+
+    def __init__(self):
+        self._records: list[Record] = []
+
+    def log(self, time: int, category: str, subject: str, **data: Any) -> None:
+        """Append one record.  ``time`` must be non-decreasing per caller
+        discipline; the trace itself does not enforce global ordering."""
+        self._records.append(Record(time, category, subject, data))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def records(self, category: Optional[str] = None,
+                subject: Optional[str] = None,
+                predicate: Optional[Callable[[Record], bool]] = None
+                ) -> list[Record]:
+        """Filtered view of the trace.
+
+        ``category`` matches exactly or as a dotted prefix (``"task"``
+        matches ``"task.activate"``).
+        """
+        out = []
+        for rec in self._records:
+            if category is not None and not _category_matches(rec.category,
+                                                              category):
+                continue
+            if subject is not None and rec.subject != subject:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def times(self, category: str, subject: Optional[str] = None) -> list[int]:
+        """Timestamps of matching records."""
+        return [r.time for r in self.records(category, subject)]
+
+    # ------------------------------------------------------------------
+    # Derived timing metrics
+    # ------------------------------------------------------------------
+    def spans(self, start_category: str, end_category: str,
+              subject: str) -> list[tuple[int, int]]:
+        """Pair each start record with the next end record for ``subject``.
+
+        Used for activation→completion (response time) and tx_request→rx
+        (message latency) measurements.  Unmatched trailing starts are
+        dropped (the job was still running at the end of the horizon).
+        """
+        starts = self.times(start_category, subject)
+        ends = self.times(end_category, subject)
+        pairs = []
+        ei = 0
+        for s in starts:
+            while ei < len(ends) and ends[ei] < s:
+                ei += 1
+            if ei == len(ends):
+                break
+            pairs.append((s, ends[ei]))
+            ei += 1
+        return pairs
+
+    def response_times(self, subject: str,
+                       start_category: str = "task.activate",
+                       end_category: str = "task.complete") -> list[int]:
+        """Per-job response times (end - start) for ``subject``."""
+        return [e - s for s, e in self.spans(start_category, end_category,
+                                             subject)]
+
+    def jitter(self, category: str, subject: str) -> int:
+        """Peak-to-peak inter-arrival jitter of matching records.
+
+        Defined as ``max(interval) - min(interval)`` over consecutive
+        occurrences; 0 when fewer than three records exist.
+        """
+        ts = self.times(category, subject)
+        if len(ts) < 3:
+            return 0
+        intervals = [b - a for a, b in zip(ts, ts[1:])]
+        return max(intervals) - min(intervals)
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        """Flat dict rows (time/category/subject + data keys), for
+        post-processing with external tooling."""
+        rows = []
+        for rec in self._records:
+            row = {"time": rec.time, "category": rec.category,
+                   "subject": rec.subject}
+            row.update(rec.data)
+            rows.append(row)
+        return rows
+
+    def save_csv(self, path: str) -> int:
+        """Write the trace as CSV (data dict serialized per-key into a
+        ``key=value;...`` column); returns the record count."""
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time", "category", "subject", "data"])
+            for rec in self._records:
+                data = ";".join(f"{k}={v}" for k, v in rec.data.items())
+                writer.writerow([rec.time, rec.category, rec.subject,
+                                 data])
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"<Trace {len(self._records)} records>"
+
+
+def _category_matches(actual: str, wanted: str) -> bool:
+    return actual == wanted or actual.startswith(wanted + ".")
+
+
+def summarize(values: list[int]) -> dict:
+    """min/avg/max summary of a list of durations (empty-safe)."""
+    if not values:
+        return {"count": 0, "min": None, "avg": None, "max": None}
+    return {
+        "count": len(values),
+        "min": min(values),
+        "avg": sum(values) / len(values),
+        "max": max(values),
+    }

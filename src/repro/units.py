@@ -1,0 +1,83 @@
+"""Time units for the simulated and analyzed world.
+
+All timing quantities in the library are **integer nanoseconds**.  Using a
+single integer base unit keeps the discrete-event queue exact (no float
+rounding, so simulations are bit-for-bit reproducible) and makes analytic
+results directly comparable to simulated traces.
+
+Helpers are provided to construct durations at the granularities that occur
+in automotive systems (microseconds for bus bit times, milliseconds for task
+periods, seconds for test horizons) and to render them for reports.
+"""
+
+from __future__ import annotations
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+S = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Duration of ``value`` nanoseconds as an integer tick count."""
+    return round(value)
+
+
+def us(value: float) -> int:
+    """Duration of ``value`` microseconds in nanoseconds."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Duration of ``value`` milliseconds in nanoseconds."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> int:
+    """Duration of ``value`` seconds in nanoseconds."""
+    return round(value * S)
+
+
+def to_us(ticks: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return ticks / US
+
+
+def to_ms(ticks: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return ticks / MS
+
+
+def to_s(ticks: int) -> float:
+    """Convert integer nanoseconds to (float) seconds."""
+    return ticks / S
+
+
+def fmt_time(ticks: int) -> str:
+    """Human-readable rendering of a duration, picking a sensible unit.
+
+    >>> fmt_time(1_500_000)
+    '1.500ms'
+    >>> fmt_time(250)
+    '250ns'
+    """
+    if ticks == 0:
+        return "0"
+    magnitude = abs(ticks)
+    if magnitude >= S:
+        return f"{ticks / S:.3f}s"
+    if magnitude >= MS:
+        return f"{ticks / MS:.3f}ms"
+    if magnitude >= US:
+        return f"{ticks / US:.3f}us"
+    return f"{ticks}ns"
+
+
+def bit_time(bitrate_bps: int) -> int:
+    """Nominal duration of one bit on a bus of ``bitrate_bps`` bits/second.
+
+    CAN at 500 kbit/s gives 2000 ns; FlexRay at 10 Mbit/s gives 100 ns.
+    """
+    if bitrate_bps <= 0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_bps}")
+    return S // bitrate_bps

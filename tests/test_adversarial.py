@@ -1,0 +1,114 @@
+"""Adversarial interaction tests across subsystem boundaries."""
+
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.osek import (EcuKernel, Execute, TaskSpec, TdmaScheduler,
+                        WaitEvent, Window)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+
+
+def test_rte_sporadic_queue_overflow_is_graceful():
+    """A producer flooding 100x faster than the consumer can complete
+    must overflow the sporadic activation queue (losses counted), not
+    wedge or crash the ECU — and service must recover afterwards."""
+    producer = SwComponent("P")
+    producer.provide("out", DATA_IF)
+
+    def flood(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        ctx.write("out", "v", ctx.state["n"] % 65536)
+
+    producer.runnable("tick", TimingEvent(us(100)), flood, wcet=us(10))
+    consumer = SwComponent("C")
+    consumer.require("in", DATA_IF)
+    consumer.runnable("slow", DataReceivedEvent("in", "v"),
+                      lambda ctx: None, wcet=ms(1))
+    app = Composition("App")
+    app.add(producer.instantiate("p"))
+    app.add(consumer.instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    system = SystemModel("flood")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("p", "E1")
+    system.map("c", "E2")
+    system.configure_bus("can")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(100))
+    task = runtime.kernels["E2"].tasks["c.slow"]
+    # The consumer stayed saturated: ~100 completions (1 ms each)...
+    assert 90 <= task.jobs_completed <= 101
+    # ...while the surplus activations were dropped against the queue.
+    assert task.activations_lost > 100
+    assert len(task.pending_jobs) <= 16  # SPORADIC_QUEUE
+
+
+def test_extended_task_woken_outside_its_tdma_window():
+    """An event set while the task's partition window is closed must
+    defer execution to the next window — strict TDMA holds even for
+    event-driven continuation."""
+    sim = Simulator()
+    scheduler = TdmaScheduler([Window(0, ms(2), "A"),
+                               Window(ms(5), ms(2), "B")],
+                              major_frame=ms(10))
+    kernel = EcuKernel(sim, scheduler)
+    event = kernel.event("GO")
+    progress = []
+
+    def body(job):
+        yield Execute(us(500))
+        progress.append(("waiting", sim.now))
+        yield WaitEvent(event)
+        progress.append(("resumed", sim.now))
+        yield Execute(us(500))
+
+    task = kernel.add_task(TaskSpec("EXT", wcet=ms(1), priority=1,
+                                    deadline=None, partition="A"),
+                           body=body)
+    kernel.activate(task)
+    # Wake at t=3 ms: partition A's window [0,2) is closed.
+    sim.schedule(ms(3), event.set)
+    sim.run_until(ms(15))
+    assert progress[0] == ("waiting", us(500))
+    # Resumed (starts executing) only at the next A window: t=10 ms.
+    assert progress[1] == ("resumed", ms(10))
+    assert task.jobs_completed == 1
+
+
+def test_same_instant_event_set_and_periodic_activation():
+    """Deterministic ordering when an alarm-driven event set coincides
+    with a periodic activation at the same instant."""
+    sim = Simulator()
+    from repro.osek import FixedPriorityScheduler
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    event = kernel.event("E")
+    order = []
+
+    def waiter_body(job):
+        while True:
+            yield WaitEvent(event)
+            order.append(("woken", sim.now))
+            yield Execute(us(100))
+
+    waiter = kernel.add_task(TaskSpec("W", wcet=us(100), priority=5,
+                                      deadline=None), body=waiter_body)
+    kernel.activate(waiter)
+    kernel.add_task(TaskSpec("P", wcet=us(100), period=ms(5), priority=1),
+                    on_complete=lambda job: order.append(("periodic",
+                                                          sim.now)))
+    alarm = kernel.alarm_set_event("A", event)
+    alarm.set_rel(ms(5), cycle=ms(5))
+    sim.run_until(ms(12))
+    # At t=5 ms both fire; the higher-priority waiter runs first
+    # ("woken" is logged at wake, its execution occupies [5, 5.1] ms),
+    # so the periodic job completes only at 5.2 ms.
+    woken = [t for kind, t in order if kind == "woken"]
+    periodic = [t for kind, t in order if kind == "periodic"]
+    assert ms(5) in woken and ms(10) in woken
+    assert min(t for t in periodic if t >= ms(5)) == ms(5) + us(200)

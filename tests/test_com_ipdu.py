@@ -1,0 +1,128 @@
+"""Tests for signals and I-PDU bit packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.com import (IPdu, SignalMapping, SignalSpec, pack_sequentially)
+
+
+def test_signal_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SignalSpec("S", 0)
+    with pytest.raises(ConfigurationError):
+        SignalSpec("S", 65)
+    with pytest.raises(ConfigurationError):
+        SignalSpec("S", 4, initial=16)
+    with pytest.raises(ConfigurationError):
+        SignalSpec("S", 4, transfer="bogus")
+    with pytest.raises(ConfigurationError):
+        SignalSpec("S", 4, timeout=0)
+
+
+def test_pack_unpack_roundtrip_simple():
+    pdu = IPdu("P", 8)
+    pdu.add(SignalMapping(SignalSpec("a", 8), 0))
+    pdu.add(SignalMapping(SignalSpec("b", 16), 8))
+    pdu.add(SignalMapping(SignalSpec("c", 1), 24))
+    payload = pdu.pack({"a": 0xAB, "b": 0x1234, "c": 1})
+    decoded = pdu.unpack(payload)
+    assert decoded["a"]["value"] == 0xAB
+    assert decoded["b"]["value"] == 0x1234
+    assert decoded["c"]["value"] == 1
+
+
+def test_pack_uses_initial_for_missing_values():
+    pdu = IPdu("P", 1)
+    pdu.add(SignalMapping(SignalSpec("a", 4, initial=7), 0))
+    assert pdu.unpack(pdu.pack({}))["a"]["value"] == 7
+
+
+def test_overlap_rejected():
+    pdu = IPdu("P", 8)
+    pdu.add(SignalMapping(SignalSpec("a", 8), 0))
+    with pytest.raises(ConfigurationError):
+        pdu.add(SignalMapping(SignalSpec("b", 8), 4))
+
+
+def test_overflow_rejected():
+    pdu = IPdu("P", 1)
+    with pytest.raises(ConfigurationError):
+        pdu.add(SignalMapping(SignalSpec("a", 9), 0))
+    with pytest.raises(ConfigurationError):
+        pdu.add(SignalMapping(SignalSpec("a", 8), 1))
+
+
+def test_duplicate_signal_rejected():
+    pdu = IPdu("P", 8)
+    spec = SignalSpec("a", 4)
+    pdu.add(SignalMapping(spec, 0))
+    with pytest.raises(ConfigurationError):
+        pdu.add(SignalMapping(spec, 8))
+
+
+def test_update_bit_set_only_for_updated_signals():
+    pdu = IPdu("P", 2)
+    pdu.add(SignalMapping(SignalSpec("a", 4), 0, update_bit=4))
+    pdu.add(SignalMapping(SignalSpec("b", 4), 5, update_bit=9))
+    payload = pdu.pack({"a": 3, "b": 5}, updated={"a"})
+    decoded = pdu.unpack(payload)
+    assert decoded["a"] == {"value": 3, "updated": True}
+    assert decoded["b"] == {"value": 5, "updated": False}
+
+
+def test_update_bit_overlap_detected():
+    pdu = IPdu("P", 1)
+    pdu.add(SignalMapping(SignalSpec("a", 4), 0, update_bit=4))
+    with pytest.raises(ConfigurationError):
+        pdu.add(SignalMapping(SignalSpec("b", 2), 5, update_bit=4))
+
+
+def test_bits_free_accounting():
+    pdu = IPdu("P", 1)
+    pdu.add(SignalMapping(SignalSpec("a", 3), 0, update_bit=3))
+    assert pdu.bits_free == 4
+
+
+def test_pack_sequentially_layout():
+    specs = [SignalSpec("a", 8), SignalSpec("b", 4), SignalSpec("c", 4)]
+    pdu = pack_sequentially("P", 2, specs)
+    assert pdu.mapping_of("a").start_bit == 0
+    assert pdu.mapping_of("b").start_bit == 8
+    assert pdu.mapping_of("c").start_bit == 12
+
+
+def test_pack_sequentially_with_update_bits():
+    specs = [SignalSpec("a", 4), SignalSpec("b", 4)]
+    pdu = pack_sequentially("P", 2, specs, with_update_bits=True)
+    assert pdu.mapping_of("a").update_bit == 4
+    assert pdu.mapping_of("b").start_bit == 5
+    assert pdu.mapping_of("b").update_bit == 9
+
+
+def test_pack_sequentially_overflow():
+    with pytest.raises(ConfigurationError):
+        pack_sequentially("P", 1, [SignalSpec("a", 8), SignalSpec("b", 1)])
+
+
+def test_value_out_of_range_on_pack():
+    pdu = IPdu("P", 1)
+    pdu.add(SignalMapping(SignalSpec("a", 4), 0))
+    with pytest.raises(ConfigurationError):
+        pdu.pack({"a": 16})
+
+
+@given(st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                max_size=6),
+       st.data())
+def test_roundtrip_property(widths, data):
+    """Any layout that fits round-trips every in-range value exactly."""
+    specs = [SignalSpec(f"s{i}", w) for i, w in enumerate(widths)]
+    total = sum(widths)
+    size = (total + 7) // 8
+    pdu = pack_sequentially("P", size, specs)
+    values = {s.name: data.draw(st.integers(min_value=0,
+                                            max_value=s.max_value))
+              for s in specs}
+    decoded = pdu.unpack(pdu.pack(values))
+    assert {k: v["value"] for k, v in decoded.items()} == values

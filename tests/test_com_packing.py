@@ -1,0 +1,91 @@
+"""Tests for signal-to-frame packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.com import (PackableSignal, SignalSpec, pack_signals,
+                       packing_bandwidth_bps, unpacked_bandwidth_bps)
+from repro.units import ms
+
+
+def sig(name, bits, period, sender="N"):
+    return PackableSignal(SignalSpec(name, bits), period, sender)
+
+
+def test_same_period_same_sender_signals_share_frame():
+    frames = pack_signals([sig("a", 16, ms(10)), sig("b", 16, ms(10)),
+                           sig("c", 16, ms(10))])
+    assert len(frames) == 1
+    assert sorted(frames[0].ipdu.signal_names()) == ["a", "b", "c"]
+    assert frames[0].period == ms(10)
+
+
+def test_different_periods_never_share():
+    frames = pack_signals([sig("fast", 8, ms(5)), sig("slow", 8, ms(100))])
+    assert len(frames) == 2
+    periods = sorted(f.period for f in frames)
+    assert periods == [ms(5), ms(100)]
+
+
+def test_different_senders_never_share():
+    frames = pack_signals([sig("a", 8, ms(10), "N1"),
+                           sig("b", 8, ms(10), "N2")])
+    assert len(frames) == 2
+    assert {f.sender for f in frames} == {"N1", "N2"}
+
+
+def test_overflowing_group_splits_into_multiple_frames():
+    signals = [sig(f"s{i}", 32, ms(10)) for i in range(5)]  # 160 bits
+    frames = pack_signals(signals, frame_bytes=8)
+    assert len(frames) == 3  # 64+64+32 bits
+    packed = [name for f in frames for name in f.ipdu.signal_names()]
+    assert sorted(packed) == sorted(s.spec.name for s in signals)
+
+
+def test_first_fit_decreasing_fills_gaps():
+    # 40+30 bits and 30+20 bits fit in two 8-byte frames; naive order
+    # would need three.
+    signals = [sig("a", 40, ms(10)), sig("b", 20, ms(10)),
+               sig("c", 30, ms(10)), sig("d", 30, ms(10))]
+    frames = pack_signals(signals, frame_bytes=8)
+    assert len(frames) == 2
+
+
+def test_signal_wider_than_frame_rejected():
+    with pytest.raises(ConfigurationError):
+        pack_signals([sig("big", 64, ms(10))], frame_bytes=4)
+
+
+def test_zero_period_rejected():
+    with pytest.raises(ConfigurationError):
+        PackableSignal(SignalSpec("a", 8), 0, "N")
+
+
+def test_packing_reduces_bandwidth():
+    signals = [sig(f"s{i}", 8, ms(10)) for i in range(8)]
+    frames = pack_signals(signals)
+    assert packing_bandwidth_bps(frames) < unpacked_bandwidth_bps(signals)
+    # 8 signals of 8 bits share one 8-byte frame: 8x overhead saving.
+    assert len(frames) == 1
+
+
+def test_deterministic_output():
+    signals = [sig(f"s{i}", 8 + i, ms(10)) for i in range(6)]
+    first = pack_signals(signals)
+    second = pack_signals(list(signals))
+    assert [f.ipdu.signal_names() for f in first] == \
+        [f.ipdu.signal_names() for f in second]
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                max_size=30))
+def test_every_signal_packed_exactly_once(widths):
+    signals = [sig(f"s{i}", w, ms(10)) for i, w in enumerate(widths)]
+    frames = pack_signals(signals)
+    packed = [name for f in frames for name in f.ipdu.signal_names()]
+    assert sorted(packed) == sorted(s.spec.name for s in signals)
+    # No frame overfilled.
+    for frame in frames:
+        used = sum(m.spec.width_bits for m in frame.ipdu.mappings)
+        assert used <= 64

@@ -1,0 +1,156 @@
+"""Tests for the COM stack over CAN: modes, update bits, timeouts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.com import (CanComAdapter, ComStack, DIRECT, IPdu, MIXED, PERIODIC,
+                       SignalMapping, SignalSpec, TRIGGERED,
+                       pack_sequentially)
+from repro.network import CanBus, CanFrameSpec
+from repro.sim import Simulator
+from repro.units import ms
+
+
+def make_pair(tx_pdu_specs, rx_timeout=None):
+    """Two nodes on one CAN bus; A transmits PDU 'P', B receives it."""
+    sim = Simulator()
+    bus = CanBus(sim, 500_000)
+    sender = ComStack(sim, CanComAdapter(
+        bus.attach("A"), {"P": CanFrameSpec("P", 0x100)}), "A")
+    receiver = ComStack(sim, CanComAdapter(
+        bus.attach("B"), {}), "B")
+    return sim, bus, sender, receiver
+
+
+def speed_pdu(timeout=None, update_bits=False):
+    return pack_sequentially(
+        "P", 8, [SignalSpec("speed", 16, timeout=timeout)],
+        with_update_bits=update_bits)
+
+
+def test_periodic_transmission_carries_latest_value():
+    sim, bus, tx, rx = make_pair(None)
+    tx.add_tx_pdu(speed_pdu(), mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(speed_pdu())
+    got = []
+    rx.on_signal("speed", got.append)
+    tx.write_signal("speed", 55)
+    sim.run_until(ms(25))
+    assert got == [55, 55]
+    assert rx.read_signal("speed") == 55
+
+
+def test_direct_mode_transmits_on_triggered_write():
+    sim, bus, tx, rx = make_pair(None)
+    pdu_tx = pack_sequentially(
+        "P", 8, [SignalSpec("cmd", 8, transfer=TRIGGERED)])
+    pdu_rx = pack_sequentially(
+        "P", 8, [SignalSpec("cmd", 8, transfer=TRIGGERED)])
+    tx.add_tx_pdu(pdu_tx, mode=DIRECT)
+    rx.add_rx_pdu(pdu_rx)
+    got = []
+    rx.on_signal("cmd", lambda v: got.append((sim.now, v)))
+    sim.schedule(ms(3), lambda: tx.write_signal("cmd", 9))
+    sim.run_until(ms(10))
+    assert len(got) == 1
+    assert got[0][1] == 9
+    assert got[0][0] < ms(4)  # immediate, not periodic
+
+
+def test_pending_write_does_not_trigger_direct_pdu():
+    sim, bus, tx, rx = make_pair(None)
+    pdu = pack_sequentially("P", 8, [SignalSpec("val", 8)])  # PENDING
+    tx.add_tx_pdu(pdu, mode=DIRECT)
+    tx.write_signal("val", 1)
+    sim.run_until(ms(50))
+    assert bus.frames_delivered == 0
+
+
+def test_mixed_mode_periodic_plus_triggered():
+    sim, bus, tx, rx = make_pair(None)
+    pdu = pack_sequentially(
+        "P", 8, [SignalSpec("x", 8, transfer=TRIGGERED)])
+    tx.add_tx_pdu(pdu, mode=MIXED, period=ms(20))
+    sim.schedule(ms(5), lambda: tx.write_signal("x", 1))
+    sim.run_until(ms(45))
+    # One triggered at ~5ms plus periodic at 20 and 40 ms.
+    assert tx._tx_pdus["P"].tx_count == 3
+
+
+def test_update_bits_suppress_stale_callbacks():
+    sim, bus, tx, rx = make_pair(None)
+    tx.add_tx_pdu(speed_pdu(update_bits=True), mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(speed_pdu(update_bits=True))
+    got = []
+    rx.on_signal("speed", got.append)
+    tx.write_signal("speed", 7)
+    sim.run_until(ms(45))
+    # 4 transmissions, but only the first carries the update bit.
+    assert got == [7]
+    assert rx.read_signal("speed") == 7
+
+
+def test_rx_timeout_fires_and_recovers():
+    sim, bus, tx, rx = make_pair(None)
+    tx.add_tx_pdu(speed_pdu(timeout=ms(25)), mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(speed_pdu(timeout=ms(25)))
+    timeouts = []
+    rx.on_timeout("speed", lambda: timeouts.append(sim.now))
+
+    # Kill the sender's periodic transmission at 35 ms by bus-off.
+    sim.schedule(ms(35), bus.controllers["A"].set_bus_off)
+    sim.run_until(ms(100))
+    assert len(timeouts) == 1
+    # Last reception ~30ms, timeout 25ms later.
+    assert ms(54) <= timeouts[0] <= ms(56)
+    assert "speed" in rx.timed_out
+
+
+def test_timeout_recovery_logged_on_reception():
+    sim, bus, tx, rx = make_pair(None)
+    rx.add_rx_pdu(speed_pdu(timeout=ms(5)))
+    tx.add_tx_pdu(speed_pdu(timeout=ms(5)), mode=PERIODIC, period=ms(20))
+    # Timeout (5 ms) fires before the first reception (~20.3 ms); stop
+    # right after that reception, before the timeout re-fires at ~25.3 ms.
+    sim.run_until(ms(21))
+    assert len(rx.trace.records("com.timeout", "speed")) == 1
+    assert len(rx.trace.records("com.timeout_recovered", "speed")) == 1
+    assert "speed" not in rx.timed_out
+
+
+def test_signal_age_tracks_reception():
+    sim, bus, tx, rx = make_pair(None)
+    tx.add_tx_pdu(speed_pdu(), mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(speed_pdu())
+    assert rx.signal_age("speed") is None
+    sim.run_until(ms(12))
+    age = rx.signal_age("speed")
+    assert age is not None and age < ms(2)
+
+
+def test_unknown_signal_rejected():
+    sim, bus, tx, rx = make_pair(None)
+    with pytest.raises(ConfigurationError):
+        tx.write_signal("nope", 1)
+    with pytest.raises(ConfigurationError):
+        rx.read_signal("nope")
+
+
+def test_on_timeout_requires_configured_timeout():
+    sim, bus, tx, rx = make_pair(None)
+    rx.add_rx_pdu(speed_pdu())  # no timeout
+    with pytest.raises(ConfigurationError):
+        rx.on_timeout("speed", lambda: None)
+
+
+def test_periodic_mode_requires_period():
+    sim, bus, tx, rx = make_pair(None)
+    with pytest.raises(ConfigurationError):
+        tx.add_tx_pdu(speed_pdu(), mode=PERIODIC, period=None)
+
+
+def test_duplicate_pdu_registration_rejected():
+    sim, bus, tx, rx = make_pair(None)
+    tx.add_tx_pdu(speed_pdu(), mode=PERIODIC, period=ms(10))
+    with pytest.raises(ConfigurationError):
+        tx.add_tx_pdu(speed_pdu(), mode=PERIODIC, period=ms(10))

@@ -1,0 +1,194 @@
+"""Tests for the transferability conformance checker, the new CAN
+sensitivity helpers, and sampled-chain data-age validation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (Chain, ChainProbe, SAMPLED, Stage,
+                            admissible_new_frame, can_rta,
+                            critical_bitrate)
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16, check_transferability)
+from repro.network import CanFrameSpec
+from repro.sim import Simulator
+from repro.units import ms, us
+
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+
+
+# ----------------------------------------------------------------------
+# Conformance checker
+# ----------------------------------------------------------------------
+def app_factory():
+    src = SwComponent("Src")
+    src.provide("out", DATA_IF)
+
+    def sample(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        ctx.write("out", "v", ctx.state["n"])
+
+    src.runnable("sample", TimingEvent(ms(10)), sample, wcet=us(100))
+    dst = SwComponent("Dst")
+    dst.require("in", DATA_IF)
+    dst.provide("cmd", SenderReceiverInterface("c", {"v": UINT16}))
+    dst.runnable("react", DataReceivedEvent("in", "v"),
+                 lambda ctx: ctx.write("cmd", "v",
+                                       ctx.read("in", "v") * 3),
+                 wcet=us(200))
+    app = Composition("App")
+    app.add(src.instantiate("src"))
+    app.add(dst.instantiate("dst"))
+    app.connect("src", "out", "dst", "in")
+    return app
+
+
+def system_factory(app):
+    system = SystemModel("conf")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("src", "E1")
+    system.map("dst", "E2")
+    system.configure_bus("can")
+    return system
+
+
+def test_conformant_application_passes():
+    report = check_transferability(
+        app_factory, system_factory, horizon=ms(95),
+        observe=[("dst", "cmd", "v"), ("src", "out", "v")],
+        settle=ms(2))
+    assert report.ok
+    assert report.observed == 2
+    assert report.vfb_values == report.deployed_values
+    assert report.vfb_values["dst.cmd.v"] == 30  # 10 samples, tripled
+
+
+def test_insufficient_settle_is_reported_as_mismatch():
+    """Without settle time the deployment's in-flight frame makes the
+    final values differ — the checker must surface that, not hide it."""
+    report = check_transferability(
+        app_factory, system_factory, horizon=ms(90),  # sample at 90
+        observe=[("dst", "cmd", "v")], settle=0)
+    assert not report.ok
+    assert report.mismatches[0]["buffer"] == "dst.cmd.v"
+
+
+def test_state_does_not_leak_between_runs():
+    """The factory discipline: two consecutive conformance checks give
+    identical results (a shared-state bug would double the counters)."""
+    first = check_transferability(app_factory, system_factory, ms(45),
+                                  [("dst", "cmd", "v")], settle=ms(2))
+    second = check_transferability(app_factory, system_factory, ms(45),
+                                   [("dst", "cmd", "v")], settle=ms(2))
+    assert first.ok and second.ok
+    assert first.vfb_values == second.vfb_values
+
+
+# ----------------------------------------------------------------------
+# CAN sensitivity helpers
+# ----------------------------------------------------------------------
+def frame_set():
+    return [CanFrameSpec("a", 0x100, dlc=8, period=ms(10)),
+            CanFrameSpec("b", 0x200, dlc=8, period=ms(20))]
+
+
+def test_critical_bitrate_is_tight():
+    frames = frame_set()
+    minimum = critical_bitrate(frames, 500_000)
+    assert minimum < 500_000
+    assert can_rta.analyze(frames, minimum).schedulable
+    assert not can_rta.analyze(frames, minimum - 1_000).schedulable
+
+
+def test_critical_bitrate_rejects_unschedulable_start():
+    frames = [CanFrameSpec("x", 0x10, dlc=8, period=300_000)]
+    with pytest.raises(AnalysisError):
+        critical_bitrate(frames, 125_000)
+
+
+def test_admissible_new_frame_dlc_headroom():
+    frames = frame_set()
+    dlc = admissible_new_frame(frames, 500_000, period=ms(10),
+                               can_id=0x300)
+    assert dlc == 8  # light load: a full frame fits
+    # On a nearly saturated bus, the admissible DLC shrinks...
+    heavy = [CanFrameSpec(f"h{i}", 0x10 + i, dlc=8, period=ms(3))
+             for i in range(10)]
+    heavy.append(CanFrameSpec("h10", 0x50, dlc=0, period=ms(3)))
+    headroom = admissible_new_frame(heavy, 500_000, period=ms(3),
+                                    can_id=0x300)
+    assert headroom is not None and 0 <= headroom < 8
+    # ...and on a fully saturated bus nothing fits at all.
+    saturated = [CanFrameSpec(f"s{i}", 0x10 + i, dlc=8, period=ms(3))
+                 for i in range(11)]
+    assert admissible_new_frame(saturated, 500_000, period=ms(3),
+                                can_id=0x300) is None
+
+
+def test_admissible_new_frame_duplicate_id_rejected():
+    with pytest.raises(AnalysisError):
+        admissible_new_frame(frame_set(), 500_000, period=ms(10),
+                             can_id=0x100)
+
+
+# ----------------------------------------------------------------------
+# Sampled-chain (data age) validation against simulation
+# ----------------------------------------------------------------------
+def test_sampled_chain_bound_covers_observed_data_age():
+    """Producer writes every 10 ms; consumer *samples* every 7 ms
+    (implicit periodic read).  Worst observed data age must stay within
+    the SAMPLED chain bound: R_frame + T_consumer + R_consumer."""
+    probe = ChainProbe("age")
+    producer = SwComponent("Producer")
+    producer.provide("out", DATA_IF)
+
+    def produce(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        seq = ctx.state["n"] % 65536
+        probe.stamp(seq, ctx.now)
+        ctx.write("out", "v", seq)
+
+    producer.runnable("produce", TimingEvent(ms(10)), produce,
+                      wcet=us(100))
+
+    consumer = SwComponent("Consumer")
+    consumer.require("in", DATA_IF)
+
+    def consume(ctx):
+        seq = ctx.read("in", "v")
+        if seq and seq != ctx.state.get("last"):
+            ctx.state["last"] = seq
+            probe.observe(seq, ctx.now)
+
+    consumer.runnable("consume", TimingEvent(ms(7)), consume,
+                      wcet=us(300))
+
+    app = Composition("App")
+    app.add(producer.instantiate("p"))
+    app.add(consumer.instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    system = SystemModel("sampled")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("p", "E1")
+    system.map("c", "E2")
+    system.configure_bus("can")
+    system.set_can_id("p.out", 0x180)
+    sim = Simulator()
+    system.build(sim)
+    sim.run_until(ms(700))
+
+    frame = CanFrameSpec("p.out", 0x180, dlc=3, period=ms(10))
+    frame_wcrt = can_rta.analyze([frame], 500_000).wcrt["p.out"]
+    chain = Chain("age", [
+        Stage("frame", frame_wcrt),
+        Stage("consume", us(300), semantics=SAMPLED, period=ms(7)),
+    ])
+    assert probe.latencies
+    assert probe.worst <= chain.worst_case_latency()
+    # The sampling term dominates: observed age exceeds the frame WCRT
+    # alone, proving the SAMPLED period term is needed.
+    assert probe.worst > frame_wcrt + us(300)

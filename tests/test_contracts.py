@@ -1,0 +1,354 @@
+"""Tests for contracts: predicates, refinement, composition, vertical
+assumptions, confidence, compatibility."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ContractError
+from repro.contracts import (BUS, CPU, Contract, LATENCY, MEMORY, Predicate,
+                             ResourceOffer, RichComponent, TIMING,
+                             FUNCTIONAL, Var, VerticalAssumption,
+                             check_compliance, check_contract_flow,
+                             check_rich_connection, confidence_report,
+                             environments, min_confidence,
+                             product_confidence, required_per_assumption,
+                             weakest_assumptions)
+from repro.core import SwComponent
+
+
+SPEED = Var("speed", range(0, 256, 16))
+LOAD = Var("load", [0, 25, 50, 75, 100])
+UNIVERSE = {"speed": SPEED, "load": LOAD}
+
+
+def pred(fn, variables, description=""):
+    return Predicate(fn, variables, description)
+
+
+# ----------------------------------------------------------------------
+# Predicates & environments
+# ----------------------------------------------------------------------
+def test_predicate_checks_environment_completeness():
+    p = pred(lambda e: e["speed"] > 10, ["speed"], "fast")
+    assert p({"speed": 50})
+    with pytest.raises(ContractError):
+        p({})
+
+
+def test_predicate_combinators():
+    fast = pred(lambda e: e["speed"] > 100, ["speed"], "fast")
+    loaded = pred(lambda e: e["load"] > 50, ["load"], "loaded")
+    env = {"speed": 150, "load": 25}
+    assert fast.and_(loaded)(env) is False
+    assert fast.or_(loaded)(env) is True
+    assert fast.not_()(env) is False
+    assert loaded.implies(fast)(env) is True  # vacuous
+    assert fast.and_(loaded).variables == frozenset({"speed", "load"})
+
+
+def test_environments_cartesian_product():
+    envs = list(environments([Var("a", [0, 1]), Var("b", "xy")]))
+    assert len(envs) == 4
+    assert {"a": 1, "b": "x"} in envs
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(ContractError):
+        Var("v", [])
+
+
+# ----------------------------------------------------------------------
+# Contracts: refinement / dominance
+# ----------------------------------------------------------------------
+def abstract_contract():
+    # Assume speed <= 224; guarantee load <= 75.
+    return Contract(
+        "abstract",
+        pred(lambda e: e["speed"] <= 224, ["speed"], "speed<=224"),
+        pred(lambda e: e["load"] <= 75, ["load"], "load<=75"))
+
+
+def test_refinement_weaker_assumption_stronger_guarantee():
+    concrete = Contract(
+        "concrete",
+        Predicate.true(),  # weaker assumption (accepts anything)
+        pred(lambda e: e["load"] <= 50, ["load"], "load<=50"))  # stronger
+    assert concrete.refines(abstract_contract(), UNIVERSE)
+    assert concrete.counterexample(abstract_contract(), UNIVERSE) is None
+
+
+def test_refinement_fails_on_stronger_assumption():
+    concrete = Contract(
+        "narrow",
+        pred(lambda e: e["speed"] <= 100, ["speed"], "speed<=100"),
+        pred(lambda e: e["load"] <= 50, ["load"], "load<=50"))
+    assert not concrete.refines(abstract_contract(), UNIVERSE)
+    cex = concrete.counterexample(abstract_contract(), UNIVERSE)
+    assert cex["reason"] == "assumption not weakened"
+    assert 100 < cex["speed"] <= 224
+
+
+def test_refinement_fails_on_weaker_guarantee():
+    concrete = Contract(
+        "lax",
+        Predicate.true(),
+        pred(lambda e: e["load"] <= 100, ["load"], "load<=100"))
+    assert not concrete.refines(abstract_contract(), UNIVERSE)
+    cex = concrete.counterexample(abstract_contract(), UNIVERSE)
+    assert cex["reason"] == "guarantee not strengthened"
+
+
+def test_refinement_is_reflexive():
+    contract = abstract_contract()
+    assert contract.refines(contract, UNIVERSE)
+
+
+def test_missing_domain_raises():
+    contract = Contract("c", pred(lambda e: e["ghost"] == 1, ["ghost"]),
+                        Predicate.true())
+    with pytest.raises(ContractError):
+        contract.refines(contract, UNIVERSE)
+
+
+def test_consistency_check():
+    consistent = Contract("ok", Predicate.true(),
+                          pred(lambda e: e["load"] <= 50, ["load"]))
+    assert consistent.is_consistent(UNIVERSE)
+    inconsistent = Contract("bad", Predicate.true(), Predicate.false())
+    assert not inconsistent.is_consistent(UNIVERSE)
+
+
+def test_composition_guarantee_is_conjunction():
+    c1 = Contract("c1", Predicate.true(),
+                  pred(lambda e: e["load"] <= 75, ["load"], "l<=75"))
+    c2 = Contract("c2", Predicate.true(),
+                  pred(lambda e: e["speed"] <= 224, ["speed"], "s<=224"))
+    composed = c1.compose(c2)
+    good = {"load": 50, "speed": 100}
+    bad = {"load": 100, "speed": 100}
+    assert composed.guarantee(good)
+    assert not composed.guarantee(bad)
+
+
+def test_composition_discharges_assumption():
+    """c2 assumes load<=75; c1 guarantees it. The composite assumption
+    must hold in environments where c1 keeps its promise."""
+    c1 = Contract("c1", Predicate.true(),
+                  pred(lambda e: e["load"] <= 75, ["load"], "l<=75"))
+    c2 = Contract("c2",
+                  pred(lambda e: e["load"] <= 75, ["load"], "l<=75"),
+                  pred(lambda e: e["speed"] <= 224, ["speed"], "s<=224"))
+    composed = c1.compose(c2)
+    # load=100 violates c1's guarantee -> assumption relaxed there.
+    assert composed.assumption({"load": 100, "speed": 250})
+    assert composed.assumption({"load": 50, "speed": 100})
+
+
+# ----------------------------------------------------------------------
+# Flow compatibility
+# ----------------------------------------------------------------------
+def test_flow_compatible_when_guarantee_implies_assumption():
+    source = Contract("src", Predicate.true(),
+                      pred(lambda e: e["speed"] <= 128, ["speed"], "s<=128"))
+    target = Contract("tgt",
+                      pred(lambda e: e["speed"] <= 224, ["speed"],
+                           "s<=224"),
+                      Predicate.true())
+    result = check_contract_flow(source, target, UNIVERSE)
+    assert result.ok
+    assert result.checked_environments == len(SPEED.domain)
+
+
+def test_flow_incompatible_returns_counterexample():
+    source = Contract("src", Predicate.true(),
+                      pred(lambda e: e["speed"] <= 240, ["speed"], "s<=240"))
+    target = Contract("tgt",
+                      pred(lambda e: e["speed"] <= 128, ["speed"],
+                           "s<=128"),
+                      Predicate.true())
+    result = check_contract_flow(source, target, UNIVERSE)
+    assert not result.ok
+    assert 128 < result.counterexample["speed"] <= 240
+
+
+# ----------------------------------------------------------------------
+# Rich components
+# ----------------------------------------------------------------------
+def rich(name):
+    component = SwComponent(name)
+    return RichComponent(component)
+
+
+def test_rich_component_viewpoints_and_claims():
+    r = rich("Brakes")
+    r.add_contract(TIMING, abstract_contract())
+    r.claim(CPU, 0.2, confidence=0.95, description="control loop")
+    assert r.contract_for(TIMING) is not None
+    assert r.contract_for(FUNCTIONAL) is None
+    assert r.vertical[0].kind == CPU
+    with pytest.raises(ContractError):
+        r.add_contract(TIMING, abstract_contract())
+    with pytest.raises(ContractError):
+        r.add_contract("bogus", abstract_contract())
+
+
+def test_rich_refinement_across_viewpoints():
+    abstract = rich("spec")
+    abstract.add_contract(TIMING, abstract_contract())
+    concrete = rich("impl")
+    concrete.add_contract(TIMING, Contract(
+        "impl-t", Predicate.true(),
+        Predicate(lambda e: e["load"] <= 50, ["load"], "load<=50")))
+    assert concrete.refines(abstract, UNIVERSE)
+    # Missing viewpoint on the concrete side fails dominance.
+    abstract.add_contract(FUNCTIONAL, Contract(
+        "f", Predicate.true(), Predicate.true()))
+    assert not concrete.refines(abstract, UNIVERSE)
+
+
+def test_check_rich_connection_shared_viewpoints():
+    source = rich("S")
+    source.add_contract(TIMING, Contract(
+        "s", Predicate.true(),
+        Predicate(lambda e: e["speed"] <= 128, ["speed"], "s<=128")))
+    target = rich("T")
+    target.add_contract(TIMING, Contract(
+        "t", Predicate(lambda e: e["speed"] <= 224, ["speed"], "s<=224"),
+        Predicate.true()))
+    results = check_rich_connection(source, target, UNIVERSE)
+    assert len(results) == 1
+    assert results[0].ok and results[0].viewpoint == TIMING
+
+
+# ----------------------------------------------------------------------
+# Vertical assumptions & compliance
+# ----------------------------------------------------------------------
+def test_compliance_additive_resources():
+    assumptions = [
+        VerticalAssumption("r1", CPU, 0.4, 0.9),
+        VerticalAssumption("r2", CPU, 0.5, 0.8),
+        VerticalAssumption("r3", MEMORY, 1024, 1.0),
+    ]
+    offers = [ResourceOffer("ECU1", CPU, 1.0),
+              ResourceOffer("ECU1", MEMORY, 4096)]
+    allocation = {"r1": "ECU1", "r2": "ECU1", "r3": "ECU1"}
+    report = check_compliance(assumptions, offers, allocation)
+    assert report.ok
+    assert report.loads[("ECU1", CPU)] == (pytest.approx(0.9), 1.0)
+    assert report.confidence == pytest.approx(0.9 * 0.8)
+
+
+def test_compliance_detects_overcommit():
+    assumptions = [VerticalAssumption("r1", CPU, 0.7),
+                   VerticalAssumption("r2", CPU, 0.6)]
+    offers = [ResourceOffer("ECU1", CPU, 1.0)]
+    report = check_compliance(assumptions, offers,
+                              {"r1": "ECU1", "r2": "ECU1"})
+    assert not report.ok
+    assert any("over-committed" in v for v in report.violations)
+
+
+def test_compliance_latency_claims_checked_against_observations():
+    assumptions = [VerticalAssumption("chain", LATENCY, 5_000_000)]
+    report = check_compliance(assumptions, [], {},
+                              observed_latencies={"chain": 4_000_000})
+    assert report.ok
+    report = check_compliance(assumptions, [], {},
+                              observed_latencies={"chain": 6_000_000})
+    assert not report.ok
+    report = check_compliance(assumptions, [], {}, observed_latencies={})
+    assert not report.ok  # unverified claim is a violation
+
+
+def test_compliance_unallocated_and_missing_offer():
+    assumptions = [VerticalAssumption("r1", CPU, 0.1),
+                   VerticalAssumption("r2", BUS, 10_000)]
+    offers = [ResourceOffer("ECU1", CPU, 1.0)]
+    report = check_compliance(assumptions, offers, {"r2": "CAN1"})
+    assert not report.ok
+    assert any("not allocated" in v for v in report.violations)
+    assert any("offers no bus" in v for v in report.violations)
+
+
+def test_vertical_validation():
+    with pytest.raises(ContractError):
+        VerticalAssumption("x", CPU, -1)
+    with pytest.raises(ContractError):
+        VerticalAssumption("x", CPU, 0.1, confidence=0.0)
+    with pytest.raises(ContractError):
+        ResourceOffer("p", CPU, 0)
+
+
+def test_compliance_dependability_and_cost_budgets():
+    """Section 3's extra-functional dimensions: failure-rate budgets
+    (dependability) and cost/weight are additive claims like CPU."""
+    from repro.contracts import COST, FAILURE_RATE, WEIGHT
+    assumptions = [
+        VerticalAssumption("braking_swc", FAILURE_RATE, 4e-9, 0.95),
+        VerticalAssumption("steering_swc", FAILURE_RATE, 5e-9, 0.95),
+        VerticalAssumption("braking_swc_cost", COST, 12.0),
+        VerticalAssumption("braking_swc_weight", WEIGHT, 300.0),
+    ]
+    offers = [ResourceOffer("safety_goal", FAILURE_RATE, 1e-8),
+              ResourceOffer("bom", COST, 20.0),
+              ResourceOffer("harness", WEIGHT, 500.0)]
+    allocation = {"braking_swc": "safety_goal",
+                  "steering_swc": "safety_goal",
+                  "braking_swc_cost": "bom",
+                  "braking_swc_weight": "harness"}
+    report = check_compliance(assumptions, offers, allocation)
+    assert report.ok
+    assert report.loads[("safety_goal", FAILURE_RATE)][0] == \
+        pytest.approx(9e-9)
+    # Exceeding the failure-rate budget is flagged like any resource.
+    assumptions.append(
+        VerticalAssumption("adas_swc", FAILURE_RATE, 2e-9))
+    allocation["adas_swc"] = "safety_goal"
+    assert not check_compliance(assumptions, offers, allocation).ok
+
+
+def test_weakest_assumptions_ordering():
+    assumptions = [VerticalAssumption("a", CPU, 0.1, 0.99),
+                   VerticalAssumption("b", CPU, 0.1, 0.5),
+                   VerticalAssumption("c", CPU, 0.1, 0.7)]
+    weak = weakest_assumptions(assumptions, threshold=0.9)
+    assert [a.owner for a in weak] == ["b", "c"]
+
+
+# ----------------------------------------------------------------------
+# Confidence aggregation
+# ----------------------------------------------------------------------
+def test_confidence_rules():
+    assumptions = [VerticalAssumption("a", CPU, 0.1, 0.9),
+                   VerticalAssumption("b", CPU, 0.1, 0.8)]
+    assert product_confidence(assumptions) == pytest.approx(0.72)
+    assert min_confidence(assumptions) == pytest.approx(0.8)
+    assert min_confidence([]) == 1.0
+
+
+def test_required_per_assumption_inverts_product():
+    per = required_per_assumption(0.9, 50)
+    assert per ** 50 == pytest.approx(0.9)
+    with pytest.raises(ContractError):
+        required_per_assumption(0.0, 5)
+    with pytest.raises(ContractError):
+        required_per_assumption(0.9, 0)
+
+
+def test_confidence_report_contents():
+    assumptions = [VerticalAssumption(f"a{i}", CPU, 0.01, 0.99)
+                   for i in range(10)]
+    report = confidence_report(assumptions, target=0.95)
+    assert report["count"] == 10
+    assert report["product"] == pytest.approx(0.99 ** 10)
+    assert report["meets_target"] == (0.99 ** 10 >= 0.95)
+    assert len(report["weakest"]) == 5
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1,
+                max_size=20))
+def test_product_never_exceeds_min(confidences):
+    assumptions = [VerticalAssumption(f"a{i}", CPU, 0.0, c)
+                   for i, c in enumerate(confidences)]
+    assert product_confidence(assumptions) <= min_confidence(assumptions) \
+        + 1e-12

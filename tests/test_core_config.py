@@ -1,0 +1,91 @@
+"""Tests for configuration classes (pre-compile / link-time / post-build)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import (ConfigurationSet, LINK_TIME, POST_BUILD,
+                               PRE_COMPILE)
+
+
+def make_set():
+    cfg = ConfigurationSet("EcuConfig")
+    cfg.declare("os_tick", 1_000_000, PRE_COMPILE,
+                validator=lambda v: v > 0)
+    cfg.declare("task_stack", 2048, LINK_TIME)
+    cfg.declare("can_baudrate", 500_000, POST_BUILD)
+    return cfg
+
+
+def test_declare_and_get():
+    cfg = make_set()
+    assert cfg.get("os_tick") == 1_000_000
+    assert cfg.get("can_baudrate") == 500_000
+
+
+def test_all_classes_editable_before_compile():
+    cfg = make_set()
+    cfg.set("os_tick", 2_000_000)
+    cfg.set("task_stack", 4096)
+    cfg.set("can_baudrate", 250_000)
+    assert cfg.snapshot() == {"os_tick": 2_000_000, "task_stack": 4096,
+                              "can_baudrate": 250_000}
+
+
+def test_pre_compile_frozen_after_compile():
+    cfg = make_set()
+    cfg.compile()
+    with pytest.raises(ConfigurationError):
+        cfg.set("os_tick", 2_000_000)
+    cfg.set("task_stack", 4096)  # link-time still editable
+    cfg.set("can_baudrate", 250_000)
+
+
+def test_link_time_frozen_after_link():
+    cfg = make_set()
+    cfg.compile()
+    cfg.link()
+    with pytest.raises(ConfigurationError):
+        cfg.set("task_stack", 4096)
+    cfg.set("can_baudrate", 125_000)  # post-build always editable
+    assert cfg.get("can_baudrate") == 125_000
+
+
+def test_stage_transitions_are_ordered():
+    cfg = make_set()
+    with pytest.raises(ConfigurationError):
+        cfg.link()  # must compile first
+    cfg.compile()
+    with pytest.raises(ConfigurationError):
+        cfg.compile()  # no double compile
+
+
+def test_declare_after_compile_rejected():
+    cfg = make_set()
+    cfg.compile()
+    with pytest.raises(ConfigurationError):
+        cfg.declare("late", 1, POST_BUILD)
+
+
+def test_validator_enforced_on_declare_and_set():
+    cfg = ConfigurationSet("C")
+    with pytest.raises(ConfigurationError):
+        cfg.declare("n", -1, POST_BUILD, validator=lambda v: v > 0)
+    cfg.declare("n", 5, POST_BUILD, validator=lambda v: v > 0)
+    with pytest.raises(ConfigurationError):
+        cfg.set("n", 0)
+
+
+def test_unknown_parameter_and_class():
+    cfg = make_set()
+    with pytest.raises(ConfigurationError):
+        cfg.get("missing")
+    with pytest.raises(ConfigurationError):
+        cfg.declare("x", 1, "bogus-class")
+    with pytest.raises(ConfigurationError):
+        cfg.declare("os_tick", 1, PRE_COMPILE)  # duplicate
+
+
+def test_parameters_filter_by_class():
+    cfg = make_set()
+    assert [p.name for p in cfg.parameters(PRE_COMPILE)] == ["os_tick"]
+    assert len(cfg.parameters()) == 3

@@ -1,0 +1,328 @@
+"""Tests for RTE generation and deployed-system semantics.
+
+The central property: component code written against ``ctx`` runs
+unchanged on the VFB and on any deployment (1 ECU, N ECUs over CAN or
+FlexRay) — only timing differs.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import (Composition, DataReceivedEvent, InitEvent,
+                        ClientServerInterface, Operation,
+                        OperationInvokedEvent, SenderReceiverInterface,
+                        SwComponent, SystemModel, TimingEvent, UINT8, UINT16,
+                        VfbSimulation)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+SPEED_IF = SenderReceiverInterface("speed_if", {"value": UINT16})
+CMD_IF = SenderReceiverInterface("cmd_if", {"value": UINT16})
+
+
+def sensor_component():
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", SPEED_IF)
+
+    def sample(ctx):
+        ctx.state.setdefault("count", 0)
+        ctx.state["count"] += 1
+        ctx.write("out", "value", ctx.state["count"] * 10)
+
+    sensor.runnable("sample", TimingEvent(ms(10)), sample, wcet=us(200))
+    return sensor
+
+
+def controller_component():
+    controller = SwComponent("Controller")
+    controller.require("in", SPEED_IF)
+    controller.provide("cmd", CMD_IF)
+
+    def on_speed(ctx):
+        ctx.write("cmd", "value", ctx.read("in", "value") + 1)
+
+    controller.runnable("on_speed", DataReceivedEvent("in", "value"),
+                        on_speed, wcet=us(300))
+    return controller
+
+
+def two_node_system(bus="can"):
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    comp.add(controller_component().instantiate("c"))
+    comp.connect("s", "out", "c", "in")
+    system = SystemModel("demo")
+    system.add_ecu("ECU1")
+    system.add_ecu("ECU2")
+    system.set_root(comp)
+    system.map("s", "ECU1")
+    system.map("c", "ECU2")
+    system.configure_bus(bus)
+    return system
+
+
+def test_validate_catches_unmapped_instances():
+    system = two_node_system()
+    del system.mapping["c"]
+    issues = system.validate()
+    assert any("not mapped" in issue for issue in issues)
+    with pytest.raises(ConfigurationError):
+        system.build(Simulator())
+
+
+def test_validate_requires_bus_for_cross_ecu():
+    system = two_node_system()
+    system.configure_bus(None)
+    issues = system.validate()
+    assert any("needs a bus in domain" in issue for issue in issues)
+
+
+def test_single_ecu_deployment_no_bus_needed():
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    comp.add(controller_component().instantiate("c"))
+    comp.connect("s", "out", "c", "in")
+    system = SystemModel("single")
+    system.add_ecu("ECU1")
+    system.set_root(comp)
+    system.map_all("ECU1")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(25))
+    assert runtime.bus is None
+    # Sensor samples at 0,10,20; chain completes locally.
+    assert runtime.value_of("c", "cmd", "value") == 31
+
+
+def test_cross_ecu_data_flows_over_can():
+    system = two_node_system("can")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(25))
+    assert runtime.value_of("c", "in", "value") == 30
+    assert runtime.value_of("c", "cmd", "value") == 31
+    # The value actually crossed the CAN bus.
+    assert runtime.bus.frames_delivered >= 3
+
+
+def test_cross_ecu_data_flows_over_flexray():
+    system = two_node_system("flexray")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(30))
+    # FlexRay adds cycle latency; at least two samples must be through.
+    assert runtime.value_of("c", "cmd", "value") >= 21
+    assert len(runtime.trace.records("flexray.rx")) >= 2
+
+
+def test_rte_and_vfb_produce_same_functional_values():
+    """Transferability: identical component code, same steady-state
+    values, on the VFB and on a 2-ECU CAN deployment."""
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    comp.add(controller_component().instantiate("c"))
+    comp.connect("s", "out", "c", "in")
+    sim_v = Simulator()
+    vfb = VfbSimulation(sim_v, comp)
+    vfb.start()
+    sim_v.run_until(ms(50))
+
+    system = two_node_system("can")
+    sim_r = Simulator()
+    runtime = system.build(sim_r)
+    sim_r.run_until(ms(50) + ms(5))  # allow bus+task latency to settle
+
+    assert runtime.value_of("c", "cmd", "value") == \
+        vfb.value_of("c", "cmd", "value")
+
+
+def test_deployment_adds_latency_vfb_does_not():
+    system = two_node_system("can")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(10) - 1)  # exactly one sample at t=0
+    write_time = runtime.trace.records("rte.write", "s.out.value")[0].time
+    rx = runtime.trace.records("can.rx")
+    assert len(rx) == 1
+    assert rx[0].time > write_time  # wire time elapsed
+
+
+def test_rate_monotonic_default_priorities():
+    fast = SwComponent("Fast")
+    fast.provide("out", SPEED_IF)
+    fast.runnable("tick", TimingEvent(ms(5)), lambda ctx: None, wcet=us(100))
+    slow = SwComponent("Slow")
+    slow.provide("out", SPEED_IF)
+    slow.runnable("tick", TimingEvent(ms(50)), lambda ctx: None,
+                  wcet=us(100))
+    comp = Composition("Sys")
+    comp.add(fast.instantiate("f"))
+    comp.add(slow.instantiate("sl"))
+    system = SystemModel("prio")
+    system.add_ecu("E")
+    system.set_root(comp)
+    system.map_all("E")
+    sim = Simulator()
+    runtime = system.build(sim)
+    tasks = runtime.kernels["E"].tasks
+    assert tasks["f.tick"].spec.priority > tasks["sl.tick"].spec.priority
+
+
+def test_explicit_priority_overrides_rm():
+    system = two_node_system("can")
+    system.ecus["ECU1"].set_priority("s.sample", 42)
+    sim = Simulator()
+    runtime = system.build(sim)
+    assert runtime.kernels["ECU1"].tasks["s.sample"].spec.priority == 42
+
+
+def test_init_runnable_activated_once():
+    comp_type = SwComponent("C")
+    comp_type.provide("out", SPEED_IF)
+    runs = []
+    comp_type.runnable("boot", InitEvent(),
+                       lambda ctx: runs.append(ctx.now), wcet=us(50))
+    comp = Composition("Sys")
+    comp.add(comp_type.instantiate("i"))
+    system = SystemModel("init")
+    system.add_ecu("E")
+    system.set_root(comp)
+    system.map_all("E")
+    sim = Simulator()
+    system.build(sim)
+    sim.run_until(ms(100))
+    assert runs == [us(50)]  # executed at task completion
+
+
+def test_intra_ecu_client_server_synchronous():
+    calib_if = ClientServerInterface(
+        "calib", {"get": Operation("get", {"index": UINT8},
+                                   returns=UINT16)})
+    server = SwComponent("Server")
+    server.provide("srv", calib_if)
+    server.runnable("h", OperationInvokedEvent("srv", "get"),
+                    lambda ctx, index: 100 + index, wcet=us(10))
+    client = SwComponent("Client")
+    client.require("cal", calib_if)
+    results = []
+    client.runnable("tick", TimingEvent(ms(10)),
+                    lambda ctx: results.append(ctx.call("cal", "get",
+                                                        index=7)),
+                    wcet=us(100))
+    comp = Composition("Sys")
+    comp.add(server.instantiate("srv"))
+    comp.add(client.instantiate("cli"))
+    comp.connect("srv", "srv", "cli", "cal")
+    system = SystemModel("cs")
+    system.add_ecu("E")
+    system.set_root(comp)
+    system.map_all("E")
+    sim = Simulator()
+    system.build(sim)
+    sim.run_until(ms(15))
+    assert results == [107, 107]
+
+
+def test_remote_client_server_with_return_rejected():
+    calib_if = ClientServerInterface(
+        "calib", {"get": Operation("get", returns=UINT16)})
+    server = SwComponent("Server")
+    server.provide("srv", calib_if)
+    server.runnable("h", OperationInvokedEvent("srv", "get"),
+                    lambda ctx: 1, wcet=us(10))
+    client = SwComponent("Client")
+    client.require("cal", calib_if)
+    client.runnable("tick", TimingEvent(ms(10)), lambda ctx: None,
+                    wcet=us(10))
+    comp = Composition("Sys")
+    comp.add(server.instantiate("srv"))
+    comp.add(client.instantiate("cli"))
+    comp.connect("srv", "srv", "cli", "cal")
+    system = SystemModel("cs")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(comp)
+    system.map("srv", "E1")
+    system.map("cli", "E2")
+    system.configure_bus("can")
+    issues = system.validate()
+    assert any("return values" in issue for issue in issues)
+
+
+def test_remote_void_call_executes_on_server_ecu():
+    actuate_if = ClientServerInterface(
+        "act", {"set": Operation("set", {"level": UINT8})})
+    server = SwComponent("Actuator")
+    server.provide("srv", actuate_if)
+    levels = []
+    server.runnable("apply", OperationInvokedEvent("srv", "set"),
+                    lambda ctx, level: levels.append((ctx.now, level)),
+                    wcet=us(50))
+    client = SwComponent("Commander")
+    client.require("act", actuate_if)
+
+    def tick(ctx):
+        ctx.state.setdefault("n", 0)
+        ctx.state["n"] += 1
+        ctx.call("act", "set", level=ctx.state["n"])
+
+    client.runnable("tick", TimingEvent(ms(10)), tick, wcet=us(100))
+    comp = Composition("Sys")
+    comp.add(server.instantiate("a"))
+    comp.add(client.instantiate("cmd"))
+    comp.connect("a", "srv", "cmd", "act")
+    system = SystemModel("remote_cs")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(comp)
+    system.map("a", "E1")
+    system.map("cmd", "E2")
+    system.configure_bus("can")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(35))
+    assert [level for __, level in levels] == [1, 2, 3, 4]
+    # Executed on the server ECU, after bus latency.
+    assert all(t > 0 for t, __ in levels)
+
+
+def test_snapshot_semantics_inputs_fixed_at_task_start():
+    """A task started before a new value arrives must compute with the
+    old value (implicit/buffered communication)."""
+    producer = SwComponent("P")
+    producer.provide("out", SPEED_IF)
+    producer.runnable("tick", TimingEvent(ms(10), offset=ms(1)),
+                      lambda ctx: ctx.write("out", "value", 99),
+                      wcet=us(100))
+    consumer = SwComponent("C")
+    consumer.require("in", SPEED_IF)
+    seen = []
+    # Long-running low-priority task: starts at 0, completes at 5 ms,
+    # after the producer wrote at ~1.1 ms.
+    consumer.runnable("slow", TimingEvent(ms(20)),
+                      lambda ctx: seen.append(ctx.read("in", "value")),
+                      wcet=ms(5))
+    comp = Composition("Sys")
+    comp.add(producer.instantiate("p"))
+    comp.add(consumer.instantiate("c"))
+    comp.connect("p", "out", "c", "in")
+    system = SystemModel("snap")
+    system.add_ecu("E")
+    system.ecus["E"].set_priority("p.tick", 10)
+    system.ecus["E"].set_priority("c.slow", 1)
+    system.set_root(comp)
+    system.map_all("E")
+    sim = Simulator()
+    system.build(sim)
+    sim.run_until(ms(8))
+    assert seen == [0]  # snapshot taken at t=0, before the write
+
+
+def test_can_id_override_is_used():
+    system = two_node_system("can")
+    system.set_can_id("s.out", 0x42)
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(5))
+    starts = runtime.trace.records("can.tx_start", "s.out")
+    assert starts and starts[0].data["can_id"] == 0x42

@@ -1,0 +1,251 @@
+"""Tests for Virtual Functional Bus execution."""
+
+import pytest
+
+from repro.errors import CompositionError, ConfigurationError
+from repro.core.component import SwComponent
+from repro.core.composition import Composition
+from repro.core.interface import (ClientServerInterface, Operation,
+                                  SenderReceiverInterface)
+from repro.core.runnable import (DataReceivedEvent, InitEvent,
+                                 OperationInvokedEvent, TimingEvent)
+from repro.core.types import UINT8, UINT16
+from repro.core.vfb import VfbSimulation
+from repro.sim import Simulator
+from repro.units import ms
+
+SPEED_IF = SenderReceiverInterface("speed_if", {"value": UINT16})
+
+
+def sensor_component(period=ms(10)):
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", SPEED_IF)
+
+    def sample(ctx):
+        ctx.state.setdefault("count", 0)
+        ctx.state["count"] += 1
+        ctx.write("out", "value", ctx.state["count"] * 10)
+
+    sensor.runnable("sample", TimingEvent(period), sample)
+    return sensor
+
+
+def controller_component():
+    controller = SwComponent("Controller")
+    controller.require("in", SPEED_IF)
+    controller.provide("cmd", SenderReceiverInterface(
+        "cmd_if", {"value": UINT16}))
+
+    def on_speed(ctx):
+        ctx.write("cmd", "value", ctx.read("in", "value") + 1)
+
+    controller.runnable("on_speed", DataReceivedEvent("in", "value"),
+                        on_speed)
+    return controller
+
+
+def test_timing_runnable_period_and_state():
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(35))
+    # TimingEvent fires at its offset (t=0) then every period: 0,10,20,30.
+    assert vfb.value_of("s", "out", "value") == 40  # 4 samples
+
+
+def test_data_received_chain_executes_immediately():
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    comp.add(controller_component().instantiate("c"))
+    comp.connect("s", "out", "c", "in")
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(10))
+    assert vfb.value_of("c", "in", "value") == 20
+    assert vfb.value_of("c", "cmd", "value") == 21
+
+
+def test_fan_out_delivers_to_all_receivers():
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    comp.add(controller_component().instantiate("c1"))
+    comp.add(controller_component().instantiate("c2"))
+    comp.connect("s", "out", "c1", "in")
+    comp.connect("s", "out", "c2", "in")
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(10))
+    assert vfb.value_of("c1", "cmd", "value") == 21
+    assert vfb.value_of("c2", "cmd", "value") == 21
+
+
+def test_unconnected_receiver_keeps_initial_value():
+    comp = Composition("Sys")
+    comp.add(controller_component().instantiate("c"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(50))
+    assert vfb.value_of("c", "in", "value") == 0
+
+
+def test_init_runnable_runs_once_at_start():
+    comp = SwComponent("C")
+    comp.provide("out", SPEED_IF)
+    runs = []
+    comp.runnable("init", InitEvent(), lambda ctx: runs.append(ctx.now))
+    c = Composition("Sys")
+    c.add(comp.instantiate("i"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, c)
+    vfb.start()
+    sim.run_until(ms(100))
+    assert runs == [0]
+
+
+def test_client_server_synchronous_call():
+    server = SwComponent("CalibServer")
+    calib_if = ClientServerInterface(
+        "calib", {"get": Operation("get", {"index": UINT8},
+                                   returns=UINT16)})
+    server.provide("srv", calib_if)
+    server.runnable("get_handler", OperationInvokedEvent("srv", "get"),
+                    lambda ctx, index: 100 + index)
+
+    client = SwComponent("Client")
+    client.require("cal", calib_if)
+    results = []
+    client.runnable("tick", TimingEvent(ms(10)),
+                    lambda ctx: results.append(ctx.call("cal", "get",
+                                                        index=3)))
+    comp = Composition("Sys")
+    comp.add(server.instantiate("srv"))
+    comp.add(client.instantiate("cli"))
+    comp.connect("srv", "srv", "cli", "cal")
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(25))
+    assert results == [103, 103, 103]  # ticks at 0, 10, 20
+
+
+def test_call_with_wrong_args_rejected():
+    server = SwComponent("S")
+    calib_if = ClientServerInterface(
+        "calib", {"get": Operation("get", {"index": UINT8},
+                                   returns=UINT16)})
+    server.provide("srv", calib_if)
+    server.runnable("h", OperationInvokedEvent("srv", "get"),
+                    lambda ctx, index: index)
+    client = SwComponent("C")
+    client.require("cal", calib_if)
+    errors = []
+
+    def tick(ctx):
+        try:
+            ctx.call("cal", "get", wrong=1)
+        except ConfigurationError as exc:
+            errors.append(str(exc))
+
+    client.runnable("tick", TimingEvent(ms(10)), tick)
+    comp = Composition("Sys")
+    comp.add(server.instantiate("s"))
+    comp.add(client.instantiate("c"))
+    comp.connect("s", "srv", "c", "cal")
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(9))
+    assert len(errors) == 1  # single tick at t=0
+
+
+def test_call_without_server_raises():
+    calib_if = ClientServerInterface(
+        "calib", {"get": Operation("get", returns=UINT16)})
+    client = SwComponent("C")
+    client.require("cal", calib_if)
+    failures = []
+
+    def tick(ctx):
+        try:
+            ctx.call("cal", "get")
+        except CompositionError:
+            failures.append(ctx.now)
+
+    client.runnable("tick", TimingEvent(ms(5)), tick)
+    comp = Composition("Sys")
+    comp.add(client.instantiate("c"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(5))
+    assert failures == [0, ms(5)]
+
+
+def test_write_to_required_port_rejected():
+    comp = SwComponent("C")
+    comp.require("in", SPEED_IF)
+    errors = []
+
+    def tick(ctx):
+        try:
+            ctx.write("in", "value", 1)
+        except ConfigurationError:
+            errors.append(True)
+
+    comp.runnable("tick", TimingEvent(ms(5)), tick)
+    c = Composition("Sys")
+    c.add(comp.instantiate("i"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, c)
+    vfb.start()
+    sim.run_until(ms(4))
+    assert errors == [True]
+
+
+def test_value_range_enforced_on_write():
+    comp = SwComponent("C")
+    comp.provide("out", SenderReceiverInterface("narrow", {"v": UINT8}))
+    errors = []
+
+    def tick(ctx):
+        try:
+            ctx.write("out", "v", 256)
+        except ConfigurationError:
+            errors.append(True)
+
+    comp.runnable("tick", TimingEvent(ms(5)), tick)
+    c = Composition("Sys")
+    c.add(comp.instantiate("i"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, c)
+    vfb.start()
+    sim.run_until(ms(4))
+    assert errors == [True]
+
+
+def test_instance_states_are_independent():
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s1"))
+    comp.add(sensor_component(period=ms(20)).instantiate("s2"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(40))
+    assert vfb.value_of("s1", "out", "value") == 50  # 0..40, 5 samples
+    assert vfb.value_of("s2", "out", "value") == 30  # 0,20,40
+
+
+def test_trace_records_runnable_executions():
+    comp = Composition("Sys")
+    comp.add(sensor_component().instantiate("s"))
+    sim = Simulator()
+    vfb = VfbSimulation(sim, comp)
+    vfb.start()
+    sim.run_until(ms(30))
+    assert len(vfb.trace.records("vfb.runnable", "s.sample")) == 4
+    assert vfb.runnable_executions == 4

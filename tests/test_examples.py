@@ -1,0 +1,74 @@
+"""Smoke tests: every example must run end-to-end and print its
+headline sections (guards the examples against API drift)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name,
+                                                  EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Virtual Functional Bus" in out
+    assert "Deployed on 2 ECUs over CAN" in out
+    assert "Deployed on 2 ECUs over FLEXRAY" in out
+    assert "configuration checks: PASS" in out
+    assert "15 ms budget        : MET" in out
+
+
+def test_brake_by_wire(capsys):
+    out = run_example("brake_by_wire", capsys)
+    assert "WITHOUT guardians" in out
+    assert "WITH guardians" in out
+    assert "damage outside FCR : 0" in out  # the guarded run
+    assert "0x4711" in out
+    assert "degraded" in out
+
+
+def test_domain_consolidation(capsys):
+    out = run_example("domain_consolidation", capsys)
+    assert "federated" in out
+    assert "integrated" in out
+    assert "compliant: True" in out
+    assert "strengthen first" in out
+
+
+def test_legacy_migration(capsys):
+    out = run_example("legacy_migration", capsys)
+    assert "native CAN (before migration)" in out
+    assert "CAN overlay on TT platform" in out
+    assert "CAN island + gateway + FlexRay" in out
+    assert "Same legacy code in all three worlds" in out
+
+
+def test_timing_driven_design(capsys):
+    out = run_example("timing_driven_design", capsys)
+    assert "budget verdict   : VIOLATED" in out
+    assert "budget verdict   : MET" in out
+    assert "bound holds      : True" in out
+    assert "budget met       : True" in out
+
+
+def test_mpsoc_integration(capsys):
+    out = run_example("mpsoc_integration", capsys)
+    assert "rejected self-send" in out
+    assert "identical after integrating telematics     : True" in out
+    assert "INTERFERED" in out  # shared bus
+    assert "ISOLATED" in out    # TDMA NoC
+    assert "babble deliveries after gating : 0" in out

@@ -1,0 +1,206 @@
+"""Tests for fault injection adapters and containment monitors."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FaultContainmentViolation
+from repro.faults import (BABBLING, CRASH, CanNodeAdapter, ComSignalAdapter,
+                          CORRUPTION, Fault, FaultInjector, IpCoreAdapter,
+                          OMISSION, TaskAdapter, TIMING_OVERRUN,
+                          TtpNodeAdapter, assert_contained,
+                          containment_violations, degradation, is_isolated)
+from repro.com import (CanComAdapter, ComStack, PERIODIC, SignalSpec,
+                       pack_sequentially)
+from repro.network import CanBus, CanFrameSpec, TtpCluster
+from repro.noc import MeshTopology, Mpsoc, TdmaNoc
+from repro.osek import EcuKernel, FixedPriorityScheduler, TaskSpec
+from repro.sim import Simulator, Trace
+from repro.units import ms, us
+
+
+def test_fault_model_validation():
+    with pytest.raises(ConfigurationError):
+        Fault("bogus", "t", 0)
+    with pytest.raises(ConfigurationError):
+        Fault(CRASH, "t", -1)
+    with pytest.raises(ConfigurationError):
+        Fault(CRASH, "t", 0, duration=0)
+    fault = Fault(CRASH, "t", ms(1), duration=ms(2))
+    assert fault.end == ms(3)
+    assert Fault(CRASH, "t", 0).end is None
+
+
+def test_adapter_kind_check():
+    sim = Simulator()
+    cluster = TtpCluster(sim, ["a", "b"], us(100))
+    adapter = TtpNodeAdapter(cluster.node("a"))
+    injector = FaultInjector(sim)
+    with pytest.raises(ConfigurationError):
+        injector.inject(adapter, Fault(TIMING_OVERRUN, "a", 0))
+
+
+def test_ttp_crash_fault_window():
+    sim = Simulator()
+    cluster = TtpCluster(sim, ["a", "b", "c"], us(100))
+    injector = FaultInjector(sim, cluster.trace)
+    adapter = TtpNodeAdapter(cluster.node("b"))
+    fault = Fault(CRASH, "b", start=us(600), duration=us(600))
+    injector.inject(adapter, fault)
+    cluster.start()
+    sim.run_until(us(2400))
+    # Dropped during the fault, rejoined after.
+    assert len(cluster.trace.records("ttp.membership_drop", "b")) == 1
+    assert len(cluster.trace.records("ttp.membership_join", "b")) == 1
+    assert cluster.membership == {"a", "b", "c"}
+    assert len(injector.trace.records("fault.activate")) == 1
+    assert len(injector.trace.records("fault.deactivate")) == 1
+
+
+def test_task_timing_overrun_adapter():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    task = kernel.add_task(TaskSpec("T", wcet=ms(1), period=ms(10),
+                                    budget=ms(2)))
+    injector = FaultInjector(sim, kernel.trace)
+    adapter = TaskAdapter(kernel, task)
+    injector.inject(adapter, Fault(TIMING_OVERRUN, "T", start=ms(15),
+                                   duration=ms(10),
+                                   params={"factor": 5.0}))
+    sim.run_until(ms(40))
+    # Job at t=20 overran (5 ms demand vs 2 ms budget) and was killed;
+    # jobs before and after behave.
+    assert len(kernel.trace.records("task.budget_overrun", "T")) == 1
+    assert task.jobs_completed == 3  # t=0, 10, 30
+
+
+def test_task_crash_adapter_suppresses_activations():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    task = kernel.add_task(TaskSpec("T", wcet=ms(1), period=ms(10)))
+    injector = FaultInjector(sim)
+    adapter = TaskAdapter(kernel, task)
+    injector.inject(adapter, Fault(CRASH, "T", start=ms(15),
+                                   duration=ms(20)))
+    sim.run_until(ms(59))
+    # Activations at 0,10 ran; 20,30 lost; 40,50 ran again.
+    assert task.jobs_completed == 4
+    assert task.activations_lost == 2
+
+
+def test_can_babbling_adapter_starves_low_priority():
+    sim = Simulator()
+    bus = CanBus(sim, 500_000)
+    victim_ctrl = bus.attach("victim")
+    idiot_ctrl = bus.attach("idiot")
+    bus.attach("rx")
+    victim_spec = CanFrameSpec("V", 0x200, dlc=8, period=ms(5))
+
+    def periodic():
+        victim_ctrl.send(victim_spec)
+        sim.schedule(ms(5), periodic)
+
+    periodic()
+    injector = FaultInjector(sim, bus.trace)
+    adapter = CanNodeAdapter(sim, idiot_ctrl, flood_period=us(100))
+    injector.inject(adapter, Fault(BABBLING, "idiot", start=ms(20),
+                                   duration=ms(20)))
+    sim.run_until(ms(60))
+    records = bus.trace.records("can.rx", "V")
+    before = [r.data["latency"] for r in records if r.time < ms(20)]
+    # Frames queued during the flood drain only after it ends at 40 ms.
+    affected = [r.data["latency"] for r in records
+                if ms(20) <= r.time < ms(46)]
+    assert before and affected
+    assert max(affected) > 10 * max(before)
+
+
+def test_ip_core_babbling_adapter():
+    sim = Simulator()
+    noc = TdmaNoc(sim, MeshTopology(2, 2), slot_length=us(1))
+    mpsoc = Mpsoc(sim, noc)
+    mpsoc.start()
+    injector = FaultInjector(sim, noc.trace)
+    adapter = IpCoreAdapter(mpsoc.cores[2], mpsoc.cores[1],
+                            interval=us(1))
+    injector.inject(adapter, Fault(BABBLING, "core2", start=0,
+                                   duration=us(50)))
+    sim.run_until(ms(1))
+    assert mpsoc.cores[2].sent > 0
+    # Flood stopped on revert: no rx from core2 long after the window.
+    late = [r for r in noc.trace.records("noc.rx_tt", "core2->core1")
+            if r.time > us(200)]
+    assert late == []
+
+
+def com_pair():
+    sim = Simulator()
+    bus = CanBus(sim, 500_000)
+    pdu = pack_sequentially("P", 8, [SignalSpec("speed", 16)])
+    tx = ComStack(sim, CanComAdapter(
+        bus.attach("A"), {"P": CanFrameSpec("P", 0x100)}), "A")
+    rx = ComStack(sim, CanComAdapter(bus.attach("B"), {}), "B")
+    tx.add_tx_pdu(pdu, mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(pack_sequentially("P", 8, [SignalSpec("speed", 16)]))
+    return sim, tx, rx
+
+
+def test_com_omission_fault_drops_pdus():
+    sim, tx, rx = com_pair()
+    tx.write_signal("speed", 7)
+    injector = FaultInjector(sim)
+    adapter = ComSignalAdapter(rx, "speed")
+    injector.inject(adapter, Fault(OMISSION, "speed", start=ms(15),
+                                   duration=ms(20)))
+    got = []
+    rx.on_signal("speed", lambda v: got.append(sim.now))
+    sim.run_until(ms(59))
+    # Receptions ~10, (15-35 dropped), 40, 50.
+    assert len(got) == 3
+
+
+def test_com_corruption_fault_overwrites_value():
+    sim, tx, rx = com_pair()
+    tx.write_signal("speed", 7)
+    injector = FaultInjector(sim)
+    adapter = ComSignalAdapter(rx, "speed")
+    injector.inject(adapter, Fault(CORRUPTION, "speed", start=ms(15),
+                                   params={"value": 0xFFFF}))
+    sim.run_until(ms(25))
+    assert rx.read_signal("speed") == 0xFFFF
+
+
+def test_containment_violations_region_matching():
+    trace = Trace()
+    trace.log(10, "task.deadline_miss", "N2.task")
+    trace.log(20, "task.deadline_miss", "N3")
+    trace.log(5, "com.timeout", "N3")  # before `since`
+    violations = containment_violations(trace, {"N2"}, since=8)
+    assert [v.subject for v in violations] == ["N3"]
+
+
+def test_assert_contained_raises_with_detail():
+    trace = Trace()
+    trace.log(10, "ttp.collision", "victim")
+    with pytest.raises(FaultContainmentViolation) as err:
+        assert_contained(trace, {"idiot"})
+    assert "victim" in str(err.value)
+    # Damage inside the region is fine.
+    assert_contained(trace, {"victim"})
+
+
+def test_isolation_and_degradation_helpers():
+    assert is_isolated([1, 2, 3], [1, 2, 3])
+    assert not is_isolated([1, 2], [1, 3])
+    assert degradation([100], [150]) == pytest.approx(0.5)
+    assert degradation([], [1]) is None
+
+
+def test_compare_runs_drives_both_variants():
+    from repro.faults import compare_runs
+
+    def build_and_run(faulted):
+        return [100, 200 if faulted else 150]
+
+    baseline, faulted = compare_runs(build_and_run)
+    assert baseline == [100, 150]
+    assert faulted == [100, 200]
+    assert not is_isolated(baseline, faulted)

@@ -1,0 +1,114 @@
+"""Tests for the FlexRay<->CAN migration gateway."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bsw import FlexRayCanGateway
+from repro.network import (CanBus, CanFrameSpec, FlexRayBus, FlexRayConfig,
+                           StaticSlotAssignment)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def make_buses():
+    sim = Simulator()
+    can = CanBus(sim, 500_000, name="LEGACY")
+    config = FlexRayConfig(slot_length=us(200), n_static_slots=4)
+    flexray = FlexRayBus(sim, config, name="BACKBONE")
+    return sim, can, flexray
+
+
+def test_can_frame_forwarded_into_static_slot():
+    sim, can, flexray = make_buses()
+    legacy = can.attach("legacy_node")
+    backbone_rx = flexray.attach("backbone_node")
+    gw = FlexRayCanGateway(sim, "GW", can, flexray,
+                           processing_delay=us(50))
+    flexray.assign_slot(StaticSlotAssignment(2, "GW.fr", "wheel_speed"))
+    gw.route_to_flexray("wheel_speed", slot=2)
+    got = []
+    backbone_rx.on_receive(
+        lambda name, msg, slot: got.append((sim.now, name, msg.payload)))
+    flexray.start()
+    legacy.send(CanFrameSpec("wheel_speed", 0x120, dlc=8), payload=88)
+    sim.run_until(ms(5))
+    assert got, "frame must reach the backbone"
+    t, name, payload = got[0]
+    assert name == "wheel_speed" and payload == 88
+    # CAN wire time + gateway delay, then the next slot-2 occurrence.
+    assert t % flexray.config.cycle_length == 2 * us(200)
+    assert gw.forwarded == 1
+
+
+def test_flexray_frame_forwarded_onto_can():
+    sim, can, flexray = make_buses()
+    backbone_tx = flexray.attach("backbone_node")
+    legacy_rx = can.attach("legacy_node")
+    gw = FlexRayCanGateway(sim, "GW", can, flexray,
+                           processing_delay=us(50))
+    flexray.assign_slot(StaticSlotAssignment(1, "backbone_node",
+                                             "torque_cmd"))
+    out_spec = CanFrameSpec("torque_cmd", 0x210, dlc=8)
+    gw.route_to_can("torque_cmd", out_spec)
+    got = []
+    legacy_rx.on_receive(lambda spec, msg: got.append(msg.payload))
+    flexray.start()
+
+    def refill():
+        backbone_tx.send_static(1, payload=42)
+        sim.schedule(flexray.config.cycle_length, refill)
+
+    refill()
+    sim.run_until(3 * flexray.config.cycle_length)
+    assert got and all(v == 42 for v in got)
+    assert gw.forwarded == len(got)
+
+
+def test_round_trip_can_to_backbone_to_can():
+    """Two legacy CAN islands joined by the TT backbone."""
+    sim = Simulator()
+    can_a = CanBus(sim, 500_000, name="ISLAND_A")
+    can_b = CanBus(sim, 500_000, name="ISLAND_B")
+    config = FlexRayConfig(slot_length=us(200), n_static_slots=4)
+    backbone = FlexRayBus(sim, config, name="BACKBONE")
+    gw_a = FlexRayCanGateway(sim, "GWA", can_a, backbone,
+                             processing_delay=us(50))
+    gw_b = FlexRayCanGateway(sim, "GWB", can_b, backbone,
+                             processing_delay=us(50))
+    backbone.assign_slot(StaticSlotAssignment(1, "GWA.fr", "sig"))
+    gw_a.route_to_flexray("sig", slot=1)
+    gw_b.route_to_can("sig", CanFrameSpec("sig", 0x300, dlc=8))
+    sender = can_a.attach("src")
+    receiver = can_b.attach("dst")
+    got = []
+    receiver.on_receive(lambda spec, msg: got.append(msg.payload))
+    backbone.start()
+    sender.send(CanFrameSpec("sig", 0x100, dlc=8), payload=123)
+    sim.run_until(ms(10))
+    assert got == [123]
+
+
+def test_unrouted_traffic_ignored_both_ways():
+    sim, can, flexray = make_buses()
+    legacy = can.attach("n")
+    tx = flexray.attach("m")
+    flexray.assign_slot(StaticSlotAssignment(1, "m", "other"))
+    gw = FlexRayCanGateway(sim, "GW", can, flexray)
+    flexray.start()
+    legacy.send(CanFrameSpec("noise", 0x100, dlc=8))
+    tx.send_static(1, payload=1)
+    sim.run_until(ms(5))
+    assert gw.forwarded == 0
+
+
+def test_duplicate_routes_rejected():
+    sim, can, flexray = make_buses()
+    gw = FlexRayCanGateway(sim, "GW", can, flexray)
+    gw.route_to_flexray("f", slot=1)
+    with pytest.raises(ConfigurationError):
+        gw.route_to_flexray("f", slot=2)
+    gw.route_to_can("g", CanFrameSpec("g", 0x1))
+    with pytest.raises(ConfigurationError):
+        gw.route_to_can("g", CanFrameSpec("g", 0x2))
+    with pytest.raises(ConfigurationError):
+        FlexRayCanGateway(sim, "BAD", can, flexray, processing_delay=-1)

@@ -1,0 +1,90 @@
+"""Stateful property testing of the ECU kernel.
+
+A hypothesis state machine drives the kernel with random interleavings
+of sporadic activations, event sets, time advancement and priority
+changes, checking conservation invariants after every step — the kind
+of misuse-resistance a production OS layer needs.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.osek import (EcuKernel, Execute, FixedPriorityScheduler,
+                        TaskSpec, WaitEvent)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+class KernelMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.sim = Simulator()
+        self.kernel = EcuKernel(self.sim, FixedPriorityScheduler())
+        self.event = self.kernel.event("E")
+        self.sporadic = []
+        for index in range(3):
+            task = self.kernel.add_task(
+                TaskSpec(f"S{index}", wcet=us(300 + 100 * index),
+                         priority=index + 1, deadline=ms(50),
+                         max_activations=4))
+            self.sporadic.append(task)
+        self.kernel.add_task(TaskSpec("P", wcet=us(500), period=ms(7),
+                                      priority=10))
+
+        def waiter_body(job):
+            yield Execute(us(100))
+            yield WaitEvent(self.event)
+            yield Execute(us(100))
+
+        self.waiter = self.kernel.add_task(
+            TaskSpec("W", wcet=us(200), priority=5, deadline=None,
+                     max_activations=2), body=waiter_body)
+        self.activations = 0
+
+    @rule(index=st.integers(min_value=0, max_value=2))
+    def activate_sporadic(self, index):
+        job = self.kernel.activate(self.sporadic[index])
+        if job is not None:
+            self.activations += 1
+
+    @rule()
+    def activate_waiter(self):
+        self.kernel.activate(self.waiter)
+
+    @rule()
+    def set_event(self):
+        self.event.set()
+
+    @rule(ticks=st.integers(min_value=1, max_value=5_000_000))
+    def advance(self, ticks):
+        self.sim.run_until(self.sim.now + ticks)
+
+    @invariant()
+    def conservation(self):
+        kernel = getattr(self, "kernel", None)
+        if kernel is None:
+            return
+        for task in kernel.tasks.values():
+            assert task.jobs_completed <= task.jobs_activated
+            assert len(task.pending_jobs) <= task.spec.max_activations
+        assert 0 <= kernel.busy_ns <= max(1, self.sim.now)
+
+    @invariant()
+    def single_running_job(self):
+        kernel = getattr(self, "kernel", None)
+        if kernel is None:
+            return
+        running = kernel._running
+        if running is not None:
+            assert running not in kernel._ready
+            assert running.state.value == "running"
+        for job in kernel._ready:
+            assert job.state.value == "ready"
+
+
+KernelMachine.TestCase.settings = settings(max_examples=25,
+                                           stateful_step_count=30,
+                                           deadline=None)
+TestKernelStateful = KernelMachine.TestCase

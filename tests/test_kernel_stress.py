@@ -1,0 +1,129 @@
+"""Randomized stress tests: kernel invariants must hold for arbitrary
+workloads under every scheduling policy."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.osek import (DeferrableServerScheduler, EcuKernel,
+                        FixedPriorityScheduler, ServerSpec, TaskSpec,
+                        TdmaScheduler, Window)
+from repro.sim import Simulator
+from repro.units import ms
+
+HORIZON = ms(200)
+
+task_params = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=8),     # wcet ms
+              st.sampled_from([10, 20, 25, 40, 50]),      # period ms
+              st.integers(min_value=1, max_value=9),      # priority
+              st.integers(min_value=1, max_value=3)),     # max_activations
+    min_size=1, max_size=6)
+
+
+def build_specs(params):
+    specs = []
+    for index, (wcet, period, priority, max_act) in enumerate(params):
+        specs.append(TaskSpec(
+            f"t{index}", wcet=ms(min(wcet, period)), period=ms(period),
+            priority=priority, partition=f"P{index % 2}",
+            deadline=ms(1000), max_activations=max_act))
+    return specs
+
+
+def check_invariants(kernel, horizon):
+    total_responses = 0
+    for task in kernel.tasks.values():
+        assert task.jobs_completed <= task.jobs_activated
+        assert (task.jobs_activated + task.activations_lost
+                >= task.jobs_completed)
+        responses = kernel.response_times(task.name)
+        total_responses += len(responses)
+        assert len(responses) == task.jobs_completed
+        for response in responses:
+            # A job cannot finish faster than its execution demand.
+            assert response >= task.spec.wcet
+        # Per-job trace sanity: start never precedes activation,
+        # completion never precedes start.
+        starts = kernel.trace.times("task.start", task.name)
+        completes = kernel.trace.times("task.complete", task.name)
+        for s, c in zip(starts, completes):
+            assert s <= c
+    assert 0 <= kernel.busy_ns <= horizon
+    # CPU conservation: busy time equals the sum of completed demand
+    # plus work in progress; it is at least completed work.
+    completed_demand = sum(t.jobs_completed * t.spec.wcet
+                           for t in kernel.tasks.values())
+    assert kernel.busy_ns >= completed_demand - ms(8)  # wip tolerance
+
+
+@settings(max_examples=20, deadline=None)
+@given(task_params, st.booleans())
+def test_fixed_priority_invariants(params, preemptive):
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler(preemptive=preemptive))
+    for spec in build_specs(params):
+        kernel.add_task(spec)
+    sim.run_until(HORIZON)
+    check_invariants(kernel, HORIZON)
+
+
+@settings(max_examples=20, deadline=None)
+@given(task_params)
+def test_tdma_invariants(params):
+    sim = Simulator()
+    scheduler = TdmaScheduler([Window(0, ms(4), "P0"),
+                               Window(ms(5), ms(4), "P1")],
+                              major_frame=ms(10))
+    kernel = EcuKernel(sim, scheduler)
+    for spec in build_specs(params):
+        kernel.add_task(spec)
+    sim.run_until(HORIZON)
+    check_invariants(kernel, HORIZON)
+    # Strict TDMA: no execution segments outside the owning window.
+    for record in kernel.trace.records("task.start"):
+        phase = record.time % ms(10)
+        partition = kernel.tasks[record.subject].spec.partition
+        if partition == "P0":
+            assert 0 <= phase < ms(4)
+        else:
+            assert ms(5) <= phase < ms(9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(task_params)
+def test_server_invariants(params):
+    sim = Simulator()
+    scheduler = DeferrableServerScheduler([
+        ServerSpec("P0", budget=ms(3), period=ms(10), priority=2),
+        ServerSpec("P1", budget=ms(3), period=ms(10), priority=1),
+    ])
+    kernel = EcuKernel(sim, scheduler)
+    for spec in build_specs(params):
+        kernel.add_task(spec)
+    sim.run_until(HORIZON)
+    check_invariants(kernel, HORIZON)
+    # Reservation cap: each partition may consume at most budget per
+    # period (3 ms / 10 ms) plus one budget of carry-in.
+    for partition in ("P0", "P1"):
+        served = sum(
+            t.jobs_completed * t.spec.wcet
+            for t in kernel.tasks.values()
+            if t.spec.partition == partition)
+        assert served <= (HORIZON // ms(10) + 1) * ms(3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(task_params, st.integers(min_value=1, max_value=5))
+def test_budget_enforcement_never_lets_consumption_exceed_budget(params,
+                                                                 budget_ms):
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    budget = ms(budget_ms)
+    for spec in build_specs(params):
+        spec.budget = budget
+        kernel.add_task(spec)
+    sim.run_until(HORIZON)
+    for record in kernel.trace.records("task.budget_overrun"):
+        assert record.data["consumed"] <= budget
+    for task in kernel.tasks.values():
+        for job in task.pending_jobs:
+            assert job.consumed <= budget

@@ -1,0 +1,206 @@
+"""Tests for the FlexRay model: static TDMA and dynamic minislots."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.network import (DynamicFrameSpec, FlexRayBus, FlexRayConfig,
+                           StaticSlotAssignment)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def make_bus(n_static=4, slot=us(100), minislots=0, minislot_len=us(10),
+             nit=0):
+    sim = Simulator()
+    cfg = FlexRayConfig(slot_length=slot, n_static_slots=n_static,
+                        minislot_length=minislot_len if minislots else 0,
+                        n_minislots=minislots, nit_length=nit)
+    bus = FlexRayBus(sim, cfg)
+    return sim, bus
+
+
+def test_cycle_length_composition():
+    cfg = FlexRayConfig(slot_length=us(100), n_static_slots=4,
+                        minislot_length=us(10), n_minislots=20,
+                        nit_length=us(50))
+    assert cfg.static_segment_length == us(400)
+    assert cfg.dynamic_segment_length == us(200)
+    assert cfg.cycle_length == us(650)
+
+
+def test_static_frame_delivered_at_slot_end_every_cycle():
+    sim, bus = make_bus()
+    a = bus.attach("A")
+    bus.attach("B")
+    bus.assign_slot(StaticSlotAssignment(2, "A", "F"))
+    bus.start()
+
+    # Keep the buffer filled.
+    def refill():
+        a.send_static(2, payload="v")
+        sim.schedule(us(400), refill)
+
+    refill()
+    sim.run_until(ms(1) + us(350))
+    cycle = bus.config.cycle_length
+    rx = bus.trace.times("flexray.rx", "F")
+    assert rx[0] == 2 * us(100)
+    assert rx[1] == cycle + 2 * us(100)
+
+
+def test_empty_buffer_sends_null_frame():
+    sim, bus = make_bus()
+    bus.attach("A")
+    bus.attach("B")
+    bus.assign_slot(StaticSlotAssignment(1, "A", "F"))
+    bus.start()
+    sim.run_until(us(450))
+    assert len(bus.trace.records("flexray.null_frame", "F")) == 1
+    assert bus.latencies("F") == []
+
+
+def test_send_static_requires_slot_ownership():
+    sim, bus = make_bus()
+    a = bus.attach("A")
+    b = bus.attach("B")
+    bus.assign_slot(StaticSlotAssignment(1, "A", "F"))
+    with pytest.raises(ProtocolError):
+        b.send_static(1)
+    with pytest.raises(ProtocolError):
+        a.send_static(3)  # unassigned slot
+
+
+def test_slot_exclusivity_and_range_checked():
+    sim, bus = make_bus(n_static=2)
+    bus.attach("A")
+    bus.attach("B")
+    bus.assign_slot(StaticSlotAssignment(1, "A", "F"))
+    with pytest.raises(ConfigurationError):
+        bus.assign_slot(StaticSlotAssignment(1, "B", "G"))
+    with pytest.raises(ConfigurationError):
+        bus.assign_slot(StaticSlotAssignment(3, "B", "G"))
+    with pytest.raises(ConfigurationError):
+        bus.assign_slot(StaticSlotAssignment(2, "NOPE", "G"))
+
+
+def test_cycle_multiplexing_base_and_repetition():
+    sim, bus = make_bus()
+    a = bus.attach("A")
+    bus.attach("B")
+    bus.assign_slot(StaticSlotAssignment(1, "A", "F", base_cycle=1,
+                                         repetition=2))
+    bus.start()
+
+    def refill():
+        a.send_static(1, payload="v")
+        sim.schedule(us(100), refill)
+
+    refill()
+    cycle = bus.config.cycle_length
+    sim.run_until(4 * cycle)
+    rx = bus.trace.times("flexray.rx", "F")
+    # Active only in odd cycles.
+    assert rx == [cycle + us(100), 3 * cycle + us(100)]
+
+
+def test_repetition_must_be_power_of_two():
+    with pytest.raises(ConfigurationError):
+        StaticSlotAssignment(1, "A", "F", repetition=3)
+    with pytest.raises(ConfigurationError):
+        StaticSlotAssignment(1, "A", "F", base_cycle=2, repetition=2)
+
+
+def test_static_latency_independent_of_other_slot_load():
+    """The composability property: slot 2's timing never changes, however
+    much traffic slot 1's owner generates."""
+
+    def run(slot1_busy):
+        sim, bus = make_bus()
+        a = bus.attach("A")
+        v = bus.attach("V")
+        bus.assign_slot(StaticSlotAssignment(1, "A", "NOISE"))
+        bus.assign_slot(StaticSlotAssignment(2, "V", "VICTIM"))
+        bus.start()
+        if slot1_busy:
+            def noise():
+                a.send_static(1, payload="x")
+                sim.schedule(us(100), noise)
+            noise()
+
+        def victim():
+            v.send_static(2, payload="v")
+            sim.schedule(us(400), victim)
+
+        victim()
+        sim.run_until(ms(2))
+        return bus.trace.times("flexray.rx", "VICTIM")
+
+    assert run(False) == run(True)
+
+
+def test_dynamic_segment_orders_by_frame_id():
+    sim, bus = make_bus(minislots=30)
+    a = bus.attach("A")
+    b = bus.attach("B")
+    bus.start()
+    # Enqueue in "wrong" order during the static segment of cycle 0.
+    a.queue_dynamic(DynamicFrameSpec("LATE", frame_id=9, size_bytes=2))
+    b.queue_dynamic(DynamicFrameSpec("EARLY", frame_id=5, size_bytes=2))
+    sim.run_until(bus.config.cycle_length)
+    rx = bus.trace.records("flexray.rx_dynamic")
+    assert [r.subject for r in rx] == ["EARLY", "LATE"]
+
+
+def test_dynamic_frame_postponed_when_minislots_exhausted():
+    sim, bus = make_bus(minislots=12)
+    a = bus.attach("A")
+    bus.attach("B")
+    bus.start()
+    # 10 Mbit/s: (8B*8+80)*100ns = 14.4 us -> 2 minislots of 10 us each.
+    a.queue_dynamic(DynamicFrameSpec("F1", 1, size_bytes=8))
+    a.queue_dynamic(DynamicFrameSpec("F2", 2, size_bytes=8))
+    a.queue_dynamic(DynamicFrameSpec("F3", 3, size_bytes=8))
+    a.queue_dynamic(DynamicFrameSpec("F4", 4, size_bytes=8))
+    a.queue_dynamic(DynamicFrameSpec("F5", 5, size_bytes=8))
+    a.queue_dynamic(DynamicFrameSpec("F6", 6, size_bytes=8))
+    a.queue_dynamic(DynamicFrameSpec("F7", 7, size_bytes=8))
+    # F6's reception lands exactly at the cycle boundary (12 minislots
+    # consumed), so run through the full first cycle.
+    sim.run_until(bus.config.cycle_length)
+    first_cycle = [r.subject for r in bus.trace.records("flexray.rx_dynamic")]
+    assert first_cycle == ["F1", "F2", "F3", "F4", "F5", "F6"]
+    sim.run_until(2 * bus.config.cycle_length)
+    all_rx = [r.subject for r in bus.trace.records("flexray.rx_dynamic")]
+    assert all_rx == first_cycle + ["F7"]
+
+
+def test_fault_model_drops_slot():
+    sim, bus = make_bus()
+    a = bus.attach("A")
+    bus.attach("B")
+    bus.assign_slot(StaticSlotAssignment(1, "A", "F"))
+    bus.fault_model = lambda assignment, cycle: cycle == 0
+    bus.start()
+
+    def refill():
+        a.send_static(1, payload="x")
+        sim.schedule(us(100), refill)
+
+    refill()
+    sim.run_until(2 * bus.config.cycle_length - 1)
+    assert len(bus.trace.records("flexray.slot_lost", "F")) == 1
+    assert len(bus.trace.records("flexray.rx", "F")) == 1
+
+
+def test_payload_capacity():
+    cfg = FlexRayConfig(slot_length=us(100), n_static_slots=2)
+    # 100us at 10Mbit/s = 1000 bits; (1000-80)/8 = 115 bytes.
+    assert cfg.payload_capacity_bytes() == 115
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        FlexRayConfig(slot_length=0, n_static_slots=2)
+    with pytest.raises(ConfigurationError):
+        FlexRayConfig(slot_length=us(10), n_static_slots=2, n_minislots=5,
+                      minislot_length=0)

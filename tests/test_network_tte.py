@@ -1,0 +1,137 @@
+"""Tests for the TT-Ethernet-like switched channel."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import (TtEthernetSwitch, TtFrameSpec, TtWindow,
+                           ethernet_frame_time)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def make_switch(nodes=("A", "B", "C")):
+    sim = Simulator()
+    sw = TtEthernetSwitch(sim, bitrate_bps=100_000_000, switch_delay=us(2))
+    for node in nodes:
+        sw.attach(node)
+    return sim, sw
+
+
+def test_frame_time_includes_overhead_and_padding():
+    # 100 Mbit/s: bit = 10 ns. 64B payload -> (64+38)*8*10 = 8160 ns.
+    assert ethernet_frame_time(64, 100_000_000) == 8160
+    # sub-minimum payload padded to 46 bytes.
+    assert ethernet_frame_time(1, 100_000_000) == (46 + 38) * 80
+
+
+def test_tt_frame_dispatched_periodically_with_constant_latency():
+    sim, sw = make_switch()
+    got = []
+    sw.on_receive("B", lambda name, msg: got.append((sim.now, msg.payload)))
+    sw.schedule_tt(TtFrameSpec("S", "A", ["B"], offset=us(50),
+                               period=ms(1), size_bytes=64))
+    sw.set_tt_payload("S", "v0")
+    sw.start()
+    sim.run_until(ms(3) - 1)
+    wire = ethernet_frame_time(64, 100_000_000) + us(2)
+    assert [t for t, __ in got] == [us(50) + wire, ms(1) + us(50) + wire,
+                                    ms(2) + us(50) + wire]
+
+
+def test_tt_latency_unaffected_by_best_effort_flood():
+    def run(flood):
+        sim, sw = make_switch()
+        sw.schedule_tt(TtFrameSpec("S", "A", ["B"], offset=us(50),
+                                   period=us(500), size_bytes=64))
+        sw.start()
+        if flood:
+            def spam():
+                sw.send_be("C", "B", size_bytes=1500)
+                sim.schedule(us(100), spam)
+            spam()
+        sim.run_until(ms(5))
+        return sw.trace.times("tte.rx_tt", "S")
+
+    assert run(False) == run(True)
+
+
+def test_best_effort_delivered_in_gap():
+    sim, sw = make_switch()
+    got = []
+    sw.on_receive("B", lambda name, msg: got.append(msg))
+    sw.send_be("A", "B", payload="hello", size_bytes=100)
+    sim.run()
+    assert len(got) == 1
+    wire = ethernet_frame_time(100, 100_000_000) + us(2)
+    assert got[0].latency == wire
+
+
+def test_best_effort_defers_around_tt_window():
+    sim, sw = make_switch()
+    # TT window on port B at offset 0, every 100 us.
+    sw.schedule_tt(TtFrameSpec("S", "A", ["B"], offset=0, period=us(100),
+                               size_bytes=64))
+    sw.start()
+    # BE frame whose transmission (123.2 us at 100Mbit/s for 1500B) cannot
+    # fit between two TT windows -> the guard-band rule defers it...
+    be = sw.send_be("C", "B", size_bytes=400)
+    sim.run_until(ms(1))
+    # 400B BE frame needs 35 us; window at 0 occupies [0, 8.16us);
+    # earliest start is 8.16us, and [8.16, 43.2) clears the next window
+    # at 100 us.
+    window = ethernet_frame_time(64, 100_000_000)
+    assert be.tx_start == window
+    assert be.rx_time == window + ethernet_frame_time(400, 100_000_000) + us(2)
+
+
+def test_best_effort_fifo_order():
+    sim, sw = make_switch()
+    order = []
+    sw.on_receive("B", lambda name, msg: order.append(msg.payload))
+    sw.send_be("A", "B", payload=1, size_bytes=100)
+    sw.send_be("C", "B", payload=2, size_bytes=100)
+    sim.run()
+    assert order == [1, 2]
+
+
+def test_tt_window_validation():
+    with pytest.raises(ConfigurationError):
+        TtWindow(offset=-1, duration=10, period=100)
+    with pytest.raises(ConfigurationError):
+        TtWindow(offset=0, duration=0, period=100)
+    with pytest.raises(ConfigurationError):
+        TtWindow(offset=0, duration=200, period=100)
+
+
+def test_tt_window_next_start_and_covering():
+    w = TtWindow(offset=50, duration=10, period=100)
+    assert w.next_start(0) == 50
+    assert w.next_start(50) == 50
+    assert w.next_start(51) == 150
+    assert w.covering(55) == (50, 60)
+    assert w.covering(60) is None
+    assert w.covering(155) == (150, 160)
+    assert w.covering(10) is None
+
+
+def test_unknown_nodes_rejected():
+    sim, sw = make_switch()
+    with pytest.raises(ConfigurationError):
+        sw.schedule_tt(TtFrameSpec("S", "A", ["NOPE"], offset=0,
+                                   period=us(100)))
+    with pytest.raises(ConfigurationError):
+        sw.send_be("A", "NOPE")
+
+
+def test_tt_payload_updates_are_picked_up():
+    sim, sw = make_switch()
+    got = []
+    sw.on_receive("B", lambda name, msg: got.append(msg.payload))
+    sw.schedule_tt(TtFrameSpec("S", "A", ["B"], offset=us(10),
+                               period=us(100), size_bytes=64))
+    sw.start()
+    sw.set_tt_payload("S", "first")
+    sim.schedule(us(50), lambda: sw.set_tt_payload("S", "second"))
+    sim.run_until(us(220))
+    assert got[0] == "first"
+    assert got[1] == "second"

@@ -1,0 +1,155 @@
+"""Tests for OSEK alarms and events (extended tasks)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.osek import (EcuKernel, Execute, FixedPriorityScheduler, TaskSpec,
+                        WaitEvent)
+from repro.sim import Simulator
+from repro.units import ms
+
+
+def make_kernel():
+    sim = Simulator()
+    return sim, EcuKernel(sim, FixedPriorityScheduler())
+
+
+def test_alarm_activates_task_cyclically():
+    sim, kernel = make_kernel()
+    task = kernel.add_task(TaskSpec("T", wcet=ms(1), priority=1,
+                                    deadline=ms(5)))
+    alarm = kernel.alarm_activate("A", task)
+    alarm.set_rel(ms(3), cycle=ms(10))
+    sim.run_until(ms(25))
+    assert kernel.trace.times("task.activate", "T") == [ms(3), ms(13), ms(23)]
+    assert alarm.expirations == 3
+
+
+def test_alarm_one_shot():
+    sim, kernel = make_kernel()
+    hits = []
+    alarm = kernel.alarm("A", lambda: hits.append(sim.now))
+    alarm.set_rel(ms(5))
+    sim.run_until(ms(50))
+    assert hits == [ms(5)]
+    assert not alarm.armed
+
+
+def test_alarm_set_abs():
+    sim, kernel = make_kernel()
+    hits = []
+    alarm = kernel.alarm("A", lambda: hits.append(sim.now))
+    alarm.set_abs(ms(7))
+    sim.run_until(ms(10))
+    assert hits == [ms(7)]
+
+
+def test_alarm_cancel():
+    sim, kernel = make_kernel()
+    hits = []
+    alarm = kernel.alarm("A", lambda: hits.append(sim.now))
+    alarm.set_rel(ms(5), cycle=ms(5))
+    sim.schedule(ms(12), alarm.cancel)
+    sim.run_until(ms(40))
+    assert hits == [ms(5), ms(10)]
+
+
+def test_alarm_double_arm_rejected():
+    sim, kernel = make_kernel()
+    alarm = kernel.alarm("A", lambda: None)
+    alarm.set_rel(ms(5))
+    with pytest.raises(ConfigurationError):
+        alarm.set_rel(ms(6))
+
+
+def test_extended_task_waits_for_event():
+    sim, kernel = make_kernel()
+    ev = kernel.event("DATA")
+    progress = []
+
+    def body(job):
+        yield Execute(ms(1))
+        progress.append(("before_wait", sim.now))
+        yield WaitEvent(ev)
+        progress.append(("after_wait", sim.now))
+        yield Execute(ms(1))
+
+    task = kernel.add_task(TaskSpec("EXT", wcet=ms(2), priority=1,
+                                    deadline=ms(100)), body=body)
+    kernel.activate(task)
+    sim.schedule(ms(10), ev.set)
+    sim.run_until(ms(20))
+    assert progress == [("before_wait", ms(1)), ("after_wait", ms(10))]
+    assert kernel.response_times("EXT") == [ms(11)]
+
+
+def test_event_set_before_wait_passes_through():
+    sim, kernel = make_kernel()
+    ev = kernel.event("E")
+    ev.set()
+
+    def body(job):
+        yield WaitEvent(ev)
+        yield Execute(ms(1))
+
+    task = kernel.add_task(TaskSpec("T", wcet=ms(1), priority=1,
+                                    deadline=ms(10)), body=body)
+    kernel.activate(task)
+    sim.run_until(ms(5))
+    assert kernel.tasks["T"].jobs_completed == 1
+    assert not ev.is_set  # consumed (clear=True default)
+
+
+def test_wait_without_clear_leaves_event_set():
+    sim, kernel = make_kernel()
+    ev = kernel.event("E")
+    ev.set()
+
+    def body(job):
+        yield WaitEvent(ev, clear=False)
+        yield Execute(ms(1))
+
+    task = kernel.add_task(TaskSpec("T", wcet=ms(1), priority=1,
+                                    deadline=ms(10)), body=body)
+    kernel.activate(task)
+    sim.run_until(ms(5))
+    assert ev.is_set
+
+
+def test_cpu_free_while_task_waits():
+    """A waiting extended task must not hold the CPU."""
+    sim, kernel = make_kernel()
+    ev = kernel.event("E")
+
+    def waiter_body(job):
+        yield WaitEvent(ev)
+        yield Execute(ms(1))
+
+    waiter = kernel.add_task(TaskSpec("W", wcet=ms(1), priority=9,
+                                      deadline=ms(100)), body=waiter_body)
+    kernel.add_task(TaskSpec("BG", wcet=ms(2), period=ms(10), priority=1))
+    kernel.activate(waiter)
+    sim.schedule(ms(5), ev.set)
+    sim.run_until(ms(9))
+    # BG (low priority) runs [0,2) because W is waiting, W runs [5,6).
+    assert kernel.response_times("BG") == [ms(2)]
+    assert kernel.trace.times("task.start", "W") == [ms(5)]
+
+
+def test_alarm_set_event_wakes_task():
+    sim, kernel = make_kernel()
+    ev = kernel.event("TICK")
+
+    def body(job):
+        while True:
+            yield WaitEvent(ev)
+            yield Execute(ms(1))
+
+    task = kernel.add_task(TaskSpec("SRV", wcet=ms(1), priority=1,
+                                    deadline=None, max_activations=1),
+                           body=body)
+    kernel.activate(task)
+    alarm = kernel.alarm_set_event("A", ev)
+    alarm.set_rel(ms(5), cycle=ms(10))
+    sim.run_until(ms(30))
+    assert kernel.trace.times("task.wake", "SRV") == [ms(5), ms(15), ms(25)]

@@ -1,0 +1,209 @@
+"""Unit tests for the ECU kernel with fixed-priority scheduling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.osek import (Acquire, EcuKernel, Execute, FixedPriorityScheduler,
+                        OsekResource, Release, TaskSpec, WaitEvent)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def make_kernel(preemptive=True, **kw):
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler(preemptive=preemptive),
+                       **kw)
+    return sim, kernel
+
+
+def test_single_periodic_task_runs_every_period():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("T", wcet=ms(1), period=ms(10)))
+    sim.run_until(ms(50))
+    assert kernel.tasks["T"].jobs_completed == 5
+    assert kernel.response_times("T") == [ms(1)] * 5
+
+
+def test_offset_delays_first_activation():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("T", wcet=ms(1), period=ms(10), offset=ms(3)))
+    sim.run_until(ms(25))
+    assert kernel.trace.times("task.activate", "T") == [ms(3), ms(13), ms(23)]
+
+
+def test_high_priority_preempts_low():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("LO", wcet=ms(5), period=ms(20), priority=1))
+    kernel.add_task(TaskSpec("HI", wcet=ms(1), period=ms(20), priority=2,
+                             offset=ms(2)))
+    sim.run_until(ms(20))
+    # LO runs [0,2), is preempted, HI runs [2,3), LO finishes at 6.
+    assert kernel.response_times("HI") == [ms(1)]
+    assert kernel.response_times("LO") == [ms(6)]
+    assert kernel.trace.times("task.preempt", "LO") == [ms(2)]
+    assert kernel.trace.times("task.resume", "LO") == [ms(3)]
+
+
+def test_non_preemptive_blocks_high_priority():
+    sim, kernel = make_kernel(preemptive=False)
+    kernel.add_task(TaskSpec("LO", wcet=ms(5), period=ms(20), priority=1))
+    kernel.add_task(TaskSpec("HI", wcet=ms(1), period=ms(20), priority=2,
+                             offset=ms(2)))
+    sim.run_until(ms(20))
+    # HI must wait for LO to finish at 5, completes at 6 -> response 4 ms.
+    assert kernel.response_times("HI") == [ms(4)]
+    assert kernel.deadline_misses() == 0
+    assert kernel.trace.records("task.preempt") == []
+
+
+def test_equal_priority_fifo():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("A", wcet=ms(2), period=ms(20), priority=1))
+    kernel.add_task(TaskSpec("B", wcet=ms(2), period=ms(20), priority=1))
+    sim.run_until(ms(10))
+    assert kernel.trace.times("task.start", "A") == [0]
+    assert kernel.trace.times("task.start", "B") == [ms(2)]
+
+
+def test_deadline_miss_detected_at_deadline_instant():
+    sim, kernel = make_kernel()
+    # Utilization 1.5: the low-priority task must miss.
+    kernel.add_task(TaskSpec("HI", wcet=ms(5), period=ms(10), priority=2))
+    kernel.add_task(TaskSpec("LO", wcet=ms(10), period=ms(10), priority=1))
+    sim.run_until(ms(30))
+    assert kernel.deadline_misses("LO") >= 1
+    assert kernel.deadline_misses("HI") == 0
+
+
+def test_activation_limit_drops_extra_activations():
+    sim, kernel = make_kernel()
+    # Task can never finish before its next activation.
+    kernel.add_task(TaskSpec("HOG", wcet=ms(25), period=ms(10), priority=1,
+                             deadline=ms(100)))
+    sim.run_until(ms(40))
+    assert kernel.tasks["HOG"].activations_lost >= 2
+    lost = kernel.trace.records("task.activation_lost", "HOG")
+    assert len(lost) == kernel.tasks["HOG"].activations_lost
+
+
+def test_sporadic_activation_via_activate():
+    sim, kernel = make_kernel()
+    task = kernel.add_task(TaskSpec("S", wcet=us(500), priority=3,
+                                    deadline=ms(5)))
+    sim.schedule(ms(7), lambda: kernel.activate(task))
+    sim.run_until(ms(20))
+    assert kernel.trace.times("task.complete", "S") == [ms(7) + us(500)]
+
+
+def test_budget_overrun_kills_job():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("BAD", wcet=ms(4), period=ms(10), priority=1,
+                             budget=ms(2)))
+    sim.run_until(ms(10))
+    task = kernel.tasks["BAD"]
+    assert task.jobs_completed == 0
+    overruns = kernel.trace.records("task.budget_overrun", "BAD")
+    assert len(overruns) == 1
+    assert overruns[0].time == ms(2)
+
+
+def test_budget_enforcement_off_lets_job_finish():
+    sim, kernel = make_kernel(budget_enforcement="off")
+    kernel.add_task(TaskSpec("BAD", wcet=ms(4), period=ms(10), priority=1,
+                             budget=ms(2)))
+    sim.run_until(ms(10))
+    assert kernel.tasks["BAD"].jobs_completed == 1
+
+
+def test_budget_protects_lower_priority_task():
+    """Timing protection bounds a runaway high-priority task's interference."""
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("RUNAWAY", wcet=ms(9), period=ms(10), priority=2,
+                             budget=ms(2)))
+    kernel.add_task(TaskSpec("VICTIM", wcet=ms(3), period=ms(10), priority=1))
+    sim.run_until(ms(50))
+    assert kernel.deadline_misses("VICTIM") == 0
+    assert max(kernel.response_times("VICTIM")) == ms(5)
+
+
+def test_duplicate_task_name_rejected():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("T", wcet=1, period=100))
+    with pytest.raises(SimulationError):
+        kernel.add_task(TaskSpec("T", wcet=1, period=100))
+
+
+def test_execution_time_sampler_used():
+    sim, kernel = make_kernel()
+    demands = iter([ms(1), ms(3), ms(2)])
+    kernel.add_task(TaskSpec("V", wcet=ms(3), period=ms(10)),
+                    execution_time=lambda: next(demands))
+    sim.run_until(ms(30) - 1)
+    assert kernel.response_times("V") == [ms(1), ms(3), ms(2)]
+
+
+def test_on_start_and_on_complete_hooks():
+    sim, kernel = make_kernel()
+    calls = []
+    kernel.add_task(TaskSpec("T", wcet=ms(1), period=ms(10)),
+                    on_start=lambda job: calls.append(("start", sim.now)),
+                    on_complete=lambda job: calls.append(("end", sim.now)))
+    sim.run_until(ms(10) - 1)
+    assert calls == [("start", 0), ("end", ms(1))]
+
+
+def test_custom_body_with_resource_icpp():
+    sim, kernel = make_kernel()
+    res = OsekResource("R")
+    res.register_user(2)
+
+    def lo_body(job):
+        yield Execute(ms(1))
+        yield Acquire(res)
+        yield Execute(ms(2))
+        yield Release(res)
+        yield Execute(ms(1))
+
+    kernel.add_task(TaskSpec("LO", wcet=ms(4), period=ms(50), priority=1),
+                    body=lo_body)
+    kernel.add_task(TaskSpec("HI", wcet=ms(1), period=ms(50), priority=2,
+                             offset=ms(2)))
+    sim.run_until(ms(50))
+    # LO's critical section spans [1,3) at ceiling priority 2, so HI
+    # (arriving at 2) is blocked until the release at 3, runs [3,4),
+    # and LO finishes its last ms at 5.
+    assert kernel.response_times("HI") == [ms(2)]
+    assert kernel.response_times("LO") == [ms(5)]
+    assert res.acquisitions == 1
+
+
+def test_resource_leak_released_and_logged():
+    sim, kernel = make_kernel()
+    res = OsekResource("R", ceiling=5)
+
+    def leaky(job):
+        yield Acquire(res)
+        yield Execute(ms(1))
+        # forgets Release
+
+    kernel.add_task(TaskSpec("L", wcet=ms(1), period=ms(10)), body=leaky)
+    sim.run_until(ms(5))
+    assert res.holder is None
+    assert len(kernel.trace.records("task.resource_leak", "L")) == 1
+
+
+def test_release_jitter_shifts_release_not_period_grid():
+    sim, kernel = make_kernel()
+    jitters = iter([us(100), us(300), 0, 0])
+    kernel.add_task(TaskSpec("J", wcet=us(10), period=ms(10)),
+                    release_jitter=lambda: next(jitters))
+    sim.run_until(ms(25))
+    acts = kernel.trace.times("task.activate", "J")
+    assert acts == [us(100), ms(10) + us(300), ms(20)]
+
+
+def test_cpu_utilization_accounting():
+    sim, kernel = make_kernel()
+    kernel.add_task(TaskSpec("T", wcet=ms(2), period=ms(10)))
+    sim.run_until(ms(100))
+    assert kernel.utilization() == pytest.approx(0.2)

@@ -1,0 +1,168 @@
+"""Tests for OSEK/AUTOSAR schedule tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.osek import (EcuKernel, ExpiryPoint, FixedPriorityScheduler,
+                        ScheduleTable, TaskSpec)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+def make_kernel():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    return sim, kernel
+
+
+def test_expiry_points_activate_tasks_cyclically():
+    sim, kernel = make_kernel()
+    task_a = kernel.add_task(TaskSpec("A", wcet=us(100), priority=2,
+                                      deadline=ms(20)))
+    task_b = kernel.add_task(TaskSpec("B", wcet=us(100), priority=1,
+                                      deadline=ms(20)))
+    table = ScheduleTable(kernel, "tbl", duration=ms(10), expiry_points=[
+        ExpiryPoint(0, activate=[task_a]),
+        ExpiryPoint(ms(4), activate=[task_b]),
+    ])
+    table.start_rel()
+    sim.run_until(ms(25))
+    assert kernel.trace.times("task.activate", "A") == [0, ms(10), ms(20)]
+    assert kernel.trace.times("task.activate", "B") == [ms(4), ms(14),
+                                                        ms(24)]
+    assert table.cycles == 2
+
+
+def test_start_rel_offsets_whole_table():
+    sim, kernel = make_kernel()
+    task = kernel.add_task(TaskSpec("A", wcet=us(100), priority=1,
+                                    deadline=ms(20)))
+    table = ScheduleTable(kernel, "tbl", duration=ms(10),
+                          expiry_points=[ExpiryPoint(ms(2),
+                                                     activate=[task])])
+    table.start_rel(ms(3))
+    sim.run_until(ms(20))
+    assert kernel.trace.times("task.activate", "A") == [ms(5), ms(15)]
+
+
+def test_one_shot_table_stops_after_cycle():
+    sim, kernel = make_kernel()
+    task = kernel.add_task(TaskSpec("A", wcet=us(100), priority=1,
+                                    deadline=ms(20)))
+    table = ScheduleTable(kernel, "tbl", duration=ms(10),
+                          expiry_points=[ExpiryPoint(0, activate=[task])],
+                          repeating=False)
+    table.start_rel()
+    sim.run_until(ms(50))
+    assert kernel.trace.times("task.activate", "A") == [0]
+    assert table.state == "stopped"
+
+
+def test_stop_cancels_pending_expiries():
+    sim, kernel = make_kernel()
+    task = kernel.add_task(TaskSpec("A", wcet=us(100), priority=1,
+                                    deadline=ms(20)))
+    table = ScheduleTable(kernel, "tbl", duration=ms(10),
+                          expiry_points=[ExpiryPoint(ms(8),
+                                                     activate=[task])])
+    table.start_rel()
+    sim.schedule(ms(12), table.stop)
+    sim.run_until(ms(50))
+    # Only the first cycle's expiry (t=8) fired; the one at 18 was
+    # cancelled by the stop at 12.
+    assert kernel.trace.times("task.activate", "A") == [ms(8)]
+
+
+def test_next_table_switches_at_cycle_boundary():
+    sim, kernel = make_kernel()
+    normal_task = kernel.add_task(TaskSpec("NORMAL", wcet=us(100),
+                                           priority=1, deadline=ms(50)))
+    limp_task = kernel.add_task(TaskSpec("LIMP", wcet=us(100),
+                                         priority=1, deadline=ms(50)))
+    normal = ScheduleTable(kernel, "normal", duration=ms(10),
+                           expiry_points=[ExpiryPoint(
+                               0, activate=[normal_task])])
+    limp = ScheduleTable(kernel, "limp", duration=ms(20),
+                         expiry_points=[ExpiryPoint(
+                             ms(5), activate=[limp_task])])
+    normal.start_rel()
+    # Mode change request mid-cycle at t=13: takes effect at t=20.
+    sim.schedule(ms(13), lambda: normal.next_table(limp))
+    sim.run_until(ms(60))
+    assert kernel.trace.times("task.activate", "NORMAL") == [0, ms(10)]
+    assert kernel.trace.times("task.activate", "LIMP") == [ms(25), ms(45)]
+    assert normal.state == "stopped"
+    assert limp.state == "running"
+    switches = kernel.trace.records("schedtable.switch")
+    assert len(switches) == 1 and switches[0].time == ms(20)
+
+
+def test_event_and_callback_actions():
+    sim, kernel = make_kernel()
+    event = kernel.event("TICK")
+    hits = []
+    table = ScheduleTable(kernel, "tbl", duration=ms(10), expiry_points=[
+        ExpiryPoint(ms(1), set_events=[event]),
+        ExpiryPoint(ms(2), callback=lambda: hits.append(sim.now)),
+    ])
+    table.start_rel()
+    sim.run_until(ms(15))
+    assert event.set_count == 2
+    assert hits == [ms(2), ms(12)]
+
+
+def test_table_validation():
+    sim, kernel = make_kernel()
+    task = kernel.add_task(TaskSpec("A", wcet=1, priority=1,
+                                    deadline=ms(1)))
+    with pytest.raises(ConfigurationError):
+        ScheduleTable(kernel, "t", duration=0,
+                      expiry_points=[ExpiryPoint(0)])
+    with pytest.raises(ConfigurationError):
+        ScheduleTable(kernel, "t", duration=ms(10), expiry_points=[])
+    with pytest.raises(ConfigurationError):
+        ScheduleTable(kernel, "t", duration=ms(10),
+                      expiry_points=[ExpiryPoint(ms(10),
+                                                 activate=[task])])
+    with pytest.raises(ConfigurationError):
+        ScheduleTable(kernel, "t", duration=ms(10),
+                      expiry_points=[ExpiryPoint(0), ExpiryPoint(0)])
+    with pytest.raises(ConfigurationError):
+        ExpiryPoint(-1)
+    table = ScheduleTable(kernel, "t", duration=ms(10),
+                          expiry_points=[ExpiryPoint(0)])
+    table.start_rel()
+    with pytest.raises(ConfigurationError):
+        table.start_rel()
+    other = ScheduleTable(kernel, "o", duration=ms(10),
+                          expiry_points=[ExpiryPoint(0)])
+    stopped = ScheduleTable(kernel, "s", duration=ms(10),
+                            expiry_points=[ExpiryPoint(0)])
+    with pytest.raises(ConfigurationError):
+        other.next_table(stopped)  # other is not running
+
+
+def test_mode_machine_drives_table_switch():
+    """Integration: a mode switch requests the degraded table."""
+    from repro.bsw import ModeMachine
+    sim, kernel = make_kernel()
+    fast = kernel.add_task(TaskSpec("FAST", wcet=us(100), priority=1,
+                                    deadline=ms(50)))
+    slow = kernel.add_task(TaskSpec("SLOW", wcet=us(100), priority=1,
+                                    deadline=ms(100)))
+    normal = ScheduleTable(kernel, "normal", duration=ms(5),
+                           expiry_points=[ExpiryPoint(0,
+                                                      activate=[fast])])
+    degraded = ScheduleTable(kernel, "degraded", duration=ms(50),
+                             expiry_points=[ExpiryPoint(
+                                 0, activate=[slow])])
+    modes = ModeMachine("ecu", ["normal", "degraded"], "normal")
+    modes.allow("normal", "degraded")
+    modes.on_entry("degraded", lambda: normal.next_table(degraded))
+    normal.start_rel()
+    sim.schedule(ms(12), lambda: modes.request("degraded"))
+    sim.run_until(ms(100))
+    fast_acts = kernel.trace.times("task.activate", "FAST")
+    assert fast_acts == [0, ms(5), ms(10)]  # stops at the boundary (15)
+    slow_acts = kernel.trace.times("task.activate", "SLOW")
+    assert slow_acts == [ms(15), ms(65)]

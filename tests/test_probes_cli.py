@@ -1,0 +1,96 @@
+"""Tests for the chain probe, trace export and the CLI entry point."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import Chain, ChainProbe, Stage
+from repro.sim import Trace
+from repro.units import ms, us
+
+
+# ----------------------------------------------------------------------
+# ChainProbe
+# ----------------------------------------------------------------------
+def test_probe_measures_latency_per_key():
+    probe = ChainProbe("p")
+    probe.stamp(1, 100)
+    probe.stamp(2, 200)
+    assert probe.observe(2, 260) == 60
+    assert probe.observe(1, 400) == 300
+    assert probe.worst == 300
+    assert probe.summary()["count"] == 2
+
+
+def test_probe_unmatched_and_duplicates_counted():
+    probe = ChainProbe("p")
+    assert probe.observe(99, 50) is None
+    assert probe.unmatched == 1
+    probe.stamp(1, 10)
+    probe.stamp(1, 20)  # overwrite = duplicate
+    assert probe.duplicates == 1
+    assert probe.observe(1, 30) == 10  # measured from the latest stamp
+
+
+def test_probe_pending_overflow_guard():
+    probe = ChainProbe("p", max_pending=3)
+    for key in range(3):
+        probe.stamp(key, 0)
+    with pytest.raises(AnalysisError):
+        probe.stamp(3, 0)
+
+
+def test_probe_check_against_chain():
+    probe = ChainProbe("p")
+    probe.stamp("a", 0)
+    probe.observe("a", us(500))
+    chain = Chain("c", [Stage("only", us(800))])
+    verdict = probe.check_against(chain)
+    assert verdict["bound_holds"]
+    assert verdict["tightness"] == pytest.approx(1.6)
+    empty = ChainProbe("empty")
+    with pytest.raises(AnalysisError):
+        empty.check_against(chain)
+
+
+# ----------------------------------------------------------------------
+# Trace export
+# ----------------------------------------------------------------------
+def test_trace_to_dicts():
+    trace = Trace()
+    trace.log(5, "task.start", "T", job=1)
+    rows = trace.to_dicts()
+    assert rows == [{"time": 5, "category": "task.start", "subject": "T",
+                     "job": 1}]
+
+
+def test_trace_save_csv(tmp_path):
+    trace = Trace()
+    trace.log(5, "task.start", "T", job=1, response=99)
+    trace.log(9, "task.complete", "T")
+    path = tmp_path / "trace.csv"
+    assert trace.save_csv(str(path)) == 2
+    content = path.read_text().splitlines()
+    assert content[0] == "time,category,subject,data"
+    assert content[1].startswith("5,task.start,T,")
+    assert "job=1" in content[1] and "response=99" in content[1]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_info(capsys):
+    from repro.__main__ import main
+    assert main(["repro", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro.osek" in out and "DATE 2008" in out
+
+
+def test_cli_selftest_passes(capsys):
+    from repro.__main__ import main
+    assert main(["repro", "selftest"]) == 0
+    assert capsys.readouterr().out.startswith("PASS")
+
+
+def test_cli_unknown_command(capsys):
+    from repro.__main__ import main
+    assert main(["repro", "bogus"]) == 2

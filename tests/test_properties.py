@@ -1,0 +1,208 @@
+"""Property-based tests cross-checking core invariants against
+independent oracles (brute-force expansions, conservation laws)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.tdma_bound import periodic_server_supply, tdma_supply
+from repro.analysis.ttschedule import TtEntry, TtSchedule
+from repro.contracts import Contract, Predicate, Var
+from repro.dse import AllocatableTask, allocate, deadline_monotonic
+from repro.analysis.rta import analyze
+from repro.legacy import CanOverlay
+from repro.network import CanFrameSpec
+from repro.osek import TaskSpec, TdmaScheduler, Window
+from repro.sim import Simulator
+from repro.units import ms, us
+
+
+# ----------------------------------------------------------------------
+# TDMA supply function vs brute-force oracle
+# ----------------------------------------------------------------------
+def brute_force_min_supply(windows, frame, t, resolution=1):
+    """Minimum supply over any interval of length t, by scanning every
+    start phase at the given resolution (oracle)."""
+    def supplied(start):
+        total = 0
+        for k in range((start + t) // frame + 1):
+            for w_start, w_len in windows:
+                lo = max(start, k * frame + w_start)
+                hi = min(start + t, k * frame + w_start + w_len)
+                if hi > lo:
+                    total += hi - lo
+        return total
+
+    return min(supplied(phase) for phase in range(0, frame, resolution))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=40),
+                          st.integers(min_value=1, max_value=20)),
+                min_size=1, max_size=3),
+       st.integers(min_value=1, max_value=200))
+def test_tdma_supply_matches_brute_force(raw_windows, t):
+    frame = 100
+    # Normalize into non-overlapping in-frame windows.
+    windows = []
+    cursor = 0
+    for start, length in raw_windows:
+        begin = max(cursor, start)
+        end = min(frame, begin + length)
+        if end > begin:
+            windows.append((begin, end - begin))
+            cursor = end
+    if not windows:
+        return
+    scheduler = TdmaScheduler(
+        [Window(s, l, "P") for s, l in windows], frame)
+    sbf = tdma_supply(scheduler, "P")
+    assert sbf(t) == brute_force_min_supply(windows, frame, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=50),
+       st.integers(min_value=1, max_value=500))
+def test_server_supply_monotone_and_rate_bounded(budget, t):
+    period = budget + 50
+    sbf = periodic_server_supply(budget, period)
+    assert sbf(t) <= sbf(t + 1) <= sbf(t) + 1  # 1-Lipschitz, monotone
+    assert sbf(t) <= max(0, t)  # never supplies more than wall time
+    # Long-run rate converges to budget/period from below.
+    horizon = 50 * period
+    assert sbf(horizon) <= budget * (horizon // period + 1)
+
+
+# ----------------------------------------------------------------------
+# TT schedule: interval-expansion oracle
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from([60, 120, 240]),
+                          st.integers(min_value=5, max_value=50)),
+                min_size=1, max_size=8))
+def test_tt_schedule_expansion_never_overlaps(specs):
+    schedule = TtSchedule()
+    for index, (period, duration) in enumerate(specs):
+        schedule.try_place(TtEntry(f"e{index}", period,
+                                   min(duration, period)))
+    if not schedule.placements:
+        return
+    # Expand occurrences linearly over two hyperperiods: any modular
+    # overlap (including ones crossing the hyperperiod boundary) shows
+    # up as a plain interval overlap on this timeline.
+    hyper = schedule.hyperperiod()
+    intervals = []
+    for placement in schedule.placements:
+        for k in range(2 * hyper // placement.period):
+            start = k * placement.period + placement.offset
+            intervals.append((start, start + placement.duration))
+    intervals.sort()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2, f"overlap: ({s1},{e1}) and ({s2},{e2})"
+
+
+# ----------------------------------------------------------------------
+# CAN overlay: conservation and ordering
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2),   # node
+                          st.integers(min_value=0, max_value=0x7FF),
+                          st.integers(min_value=0, max_value=2000)),
+                min_size=1, max_size=25))
+def test_overlay_delivers_every_frame_exactly_once(sends):
+    sim = Simulator()
+    nodes = ["n0", "n1", "n2"]
+    overlay = CanOverlay(sim, nodes, slot_length=us(100),
+                         slot_capacity_bytes=64)
+    received: dict[str, list] = {n: [] for n in nodes}
+    for node in nodes:
+        overlay.attach(node).on_receive(
+            lambda spec, msg, n=node: received[n].append(msg.seq))
+    sent = []
+    for index, (node_index, can_id, delay) in enumerate(sends):
+        node = nodes[node_index]
+
+        def do_send(node=node, can_id=can_id, index=index):
+            spec = CanFrameSpec(f"f{index}", can_id, dlc=1)
+            msg = overlay.attach(node).send(spec)
+            sent.append((node, msg.seq))
+
+        sim.schedule(us(delay), do_send)
+    overlay.start()
+    sim.run_until(ms(50))
+    # Conservation: every frame reaches every *other* node exactly once.
+    for node, seq in sent:
+        for peer in nodes:
+            count = received[peer].count(seq)
+            assert count == (0 if peer == node else 1)
+
+
+# ----------------------------------------------------------------------
+# Contracts: algebraic properties on random interval contracts
+# ----------------------------------------------------------------------
+X = Var("x", range(0, 64, 4))
+UNIVERSE = {"x": X}
+
+
+def interval_contract(name, a_hi, g_hi):
+    return Contract(
+        name,
+        Predicate(lambda e, lim=a_hi: e["x"] <= lim, ["x"], f"A<={a_hi}"),
+        Predicate(lambda e, lim=g_hi: e["x"] <= lim, ["x"], f"G<={g_hi}"))
+
+
+limits = st.integers(min_value=0, max_value=63)
+
+
+@settings(max_examples=40, deadline=None)
+@given(limits, limits, limits, limits)
+def test_composition_guarantee_implies_components(a1, g1, a2, g2):
+    c1 = interval_contract("c1", a1, g1)
+    c2 = interval_contract("c2", a2, g2)
+    composed = c1.compose(c2)
+    sat1 = c1.saturated_guarantee()
+    sat2 = c2.saturated_guarantee()
+    for value in X.domain:
+        env = {"x": value}
+        if composed.guarantee(env):
+            assert sat1(env) and sat2(env)
+
+
+@settings(max_examples=30, deadline=None)
+@given(limits, limits, limits, limits, limits, limits)
+def test_refinement_is_transitive(a1, g1, a2, g2, a3, g3):
+    c1 = interval_contract("c1", a1, g1)
+    c2 = interval_contract("c2", a2, g2)
+    c3 = interval_contract("c3", a3, g3)
+    if c1.refines(c2, UNIVERSE) and c2.refines(c3, UNIVERSE):
+        assert c1.refines(c3, UNIVERSE)
+
+
+@settings(max_examples=30, deadline=None)
+@given(limits, limits)
+def test_refinement_is_reflexive_property(a_hi, g_hi):
+    contract = interval_contract("c", a_hi, g_hi)
+    assert contract.refines(contract, UNIVERSE)
+
+
+# ----------------------------------------------------------------------
+# Allocation: every produced bin is schedulable, every task placed once
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=8),
+                          st.sampled_from([10, 20, 40, 80])),
+                min_size=1, max_size=12))
+def test_allocation_bins_always_schedulable(params):
+    tasks = []
+    for index, (wcet, period) in enumerate(params):
+        wcet = min(wcet, period - 1) if period > 1 else 1
+        tasks.append(AllocatableTask(
+            TaskSpec(f"t{index}", wcet=ms(wcet), period=ms(period)),
+            das="d"))
+    allocation = allocate(tasks, max_ecus=len(tasks))
+    assert allocation is not None  # each task alone fits (u < 1)
+    placed = sorted(allocation.mapping())
+    assert placed == sorted(t.spec.name for t in tasks)
+    for bin_tasks in allocation.bins:
+        specs = deadline_monotonic([t.spec for t in bin_tasks])
+        assert analyze(specs).schedulable

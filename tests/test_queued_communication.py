@@ -1,0 +1,220 @@
+"""Tests for queued (event-semantics) sender-receiver communication on
+the VFB and on deployed systems."""
+
+import pytest
+
+from repro.errors import CompositionError, ConfigurationError
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16, VfbSimulation)
+from repro.core.metamodel import export_system, import_system
+from repro.sim import Simulator
+from repro.units import ms, us
+
+EVENT_IF = SenderReceiverInterface("events", {"code": UINT16},
+                                   queued={"code"})
+STATE_IF = SenderReceiverInterface("state", {"v": UINT16})
+
+
+def test_queued_declaration_validated():
+    with pytest.raises(ConfigurationError):
+        SenderReceiverInterface("bad", {"a": UINT16}, queued={"ghost"})
+
+
+def test_queuedness_is_part_of_compatibility():
+    queued = SenderReceiverInterface("q", {"a": UINT16}, queued={"a"})
+    plain = SenderReceiverInterface("p", {"a": UINT16})
+    assert not queued.compatible_with(plain)
+    assert queued.compatible_with(
+        SenderReceiverInterface("q2", {"a": UINT16}, queued={"a"}))
+
+
+def producer_component(burst=3):
+    producer = SwComponent("Producer")
+    producer.provide("out", EVENT_IF)
+
+    def emit(ctx):
+        base = ctx.state.get("n", 0)
+        for i in range(burst):
+            ctx.write("out", "code", base + i + 1)
+        ctx.state["n"] = base + burst
+
+    producer.runnable("emit", TimingEvent(ms(10)), emit, wcet=us(100))
+    return producer
+
+
+def consumer_component():
+    consumer = SwComponent("Consumer")
+    consumer.require("in", EVENT_IF)
+
+    def drain(ctx):
+        while True:
+            code = ctx.receive("in", "code")
+            if code is None:
+                break
+            ctx.state.setdefault("seen", []).append(code)
+
+    consumer.runnable("drain", DataReceivedEvent("in", "code"), drain,
+                      wcet=us(100))
+    return consumer
+
+
+def build_app():
+    app = Composition("App")
+    app.add(producer_component().instantiate("p"))
+    app.add(consumer_component().instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    return app
+
+
+def test_vfb_queued_delivers_every_value_in_order():
+    sim = Simulator()
+    vfb = VfbSimulation(sim, build_app())
+    vfb.start()
+    sim.run_until(ms(25))
+    consumer_state = vfb.instances["c"].state
+    # 3 cycles x burst 3 = 9 values, all distinct, in order.
+    assert consumer_state["seen"] == list(range(1, 10))
+    assert vfb.queue_depth("c", "in", "code") == 0
+
+
+def test_vfb_read_of_queued_element_rejected():
+    sim = Simulator()
+    app = Composition("App")
+    app.add(producer_component().instantiate("p"))
+    bad_consumer = SwComponent("Bad")
+    bad_consumer.require("in", EVENT_IF)
+    errors = []
+
+    def wrong(ctx):
+        try:
+            ctx.read("in", "code")
+        except ConfigurationError:
+            errors.append(True)
+
+    bad_consumer.runnable("wrong", DataReceivedEvent("in", "code"), wrong,
+                          wcet=us(10))
+    app.add(bad_consumer.instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    vfb = VfbSimulation(sim, app)
+    vfb.start()
+    sim.run_until(ms(1))
+    assert errors
+
+
+def test_vfb_queue_overflow_drops_and_counts():
+    sim = Simulator()
+    app = Composition("App")
+    app.add(producer_component(burst=20).instantiate("p"))
+    # A consumer that never drains: no runnable at all.
+    sink = SwComponent("Sink")
+    sink.require("in", EVENT_IF)
+    app.add(sink.instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    vfb = VfbSimulation(sim, app)
+    vfb.start()
+    sim.run_until(ms(5))
+    assert vfb.queue_depth("c", "in", "code") == 16  # QUEUE_LENGTH
+    assert vfb.queue_overflows == 4
+
+
+def deploy(app, bus="can"):
+    system = SystemModel("queued")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("p", "E1")
+    system.map("c", "E2")
+    system.configure_bus(bus)
+    return system
+
+
+def test_deployed_queued_communication_over_can():
+    system = deploy(build_app())
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(28))
+    consumer_state = runtime.ecus["E2"].instances["c"].state
+    # Every burst value crossed the bus exactly once, in order.
+    assert consumer_state["seen"] == list(range(1, 10))
+    assert runtime.queue_depth("c", "in", "code") == 0
+    assert runtime.queue_overflows == 0
+
+
+def test_deployed_same_ecu_queued_communication():
+    app = build_app()
+    system = SystemModel("local")
+    system.add_ecu("E")
+    system.set_root(app)
+    system.map_all("E")
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(25))
+    assert runtime.ecus["E"].instances["c"].state["seen"] == \
+        list(range(1, 10))
+
+
+def test_queued_and_state_elements_coexist():
+    mixed_if = SenderReceiverInterface(
+        "mixed", {"event": UINT16, "level": UINT16}, queued={"event"})
+    src = SwComponent("Src")
+    src.provide("out", mixed_if)
+
+    def tick(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        ctx.write("out", "level", ctx.state["n"])
+        if ctx.state["n"] % 2 == 0:
+            ctx.write("out", "event", ctx.state["n"])
+
+    src.runnable("tick", TimingEvent(ms(10)), tick, wcet=us(50))
+    dst = SwComponent("Dst")
+    dst.require("in", mixed_if)
+
+    def on_event(ctx):
+        code = ctx.receive("in", "event")
+        level = ctx.read("in", "level")  # state element still readable
+        ctx.state.setdefault("pairs", []).append((code, level))
+
+    dst.runnable("on_event", DataReceivedEvent("in", "event"), on_event,
+                 wcet=us(50))
+    app = Composition("App")
+    app.add(src.instantiate("p"))
+    app.add(dst.instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    system = deploy(app)
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(45))
+    pairs = runtime.ecus["E2"].instances["c"].state["pairs"]
+    assert pairs == [(2, 2), (4, 4)]
+
+
+def test_queued_interface_survives_metamodel_roundtrip():
+    def emit(ctx):
+        ctx.write("out", "code", 7)
+
+    def drain(ctx):
+        ctx.state["got"] = ctx.receive("in", "code")
+
+    producer = SwComponent("P")
+    producer.provide("out", EVENT_IF)
+    producer.runnable("emit", TimingEvent(ms(10)), emit, wcet=us(10))
+    consumer = SwComponent("C")
+    consumer.require("in", EVENT_IF)
+    consumer.runnable("drain", DataReceivedEvent("in", "code"), drain,
+                      wcet=us(10))
+    app = Composition("App")
+    app.add(producer.instantiate("p"))
+    app.add(consumer.instantiate("c"))
+    app.connect("p", "out", "c", "in")
+    system = SystemModel("rt")
+    system.add_ecu("E")
+    system.set_root(app)
+    system.map_all("E")
+    doc = export_system(system)
+    assert doc["interfaces"]["events"]["queued"] == ["code"]
+    rebuilt = import_system(doc, {"P.emit": emit, "C.drain": drain})
+    sim = Simulator()
+    runtime = rebuilt.build(sim)
+    sim.run_until(ms(15))
+    assert runtime.ecus["E"].instances["c"].state["got"] == 7

@@ -1,0 +1,89 @@
+"""Tests for TT-Ethernet as an RTE bus kind."""
+
+import pytest
+
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+
+
+def build_system(**bus_params):
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", DATA_IF)
+
+    def sample(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        ctx.write("out", "v", ctx.state["n"])
+
+    sensor.runnable("sample", TimingEvent(ms(10)), sample, wcet=us(100))
+    sink = SwComponent("Sink")
+    sink.require("in", DATA_IF)
+    sink.runnable("consume", DataReceivedEvent("in", "v"),
+                  lambda ctx: ctx.state.__setitem__(
+                      "got", ctx.read("in", "v")),
+                  wcet=us(100))
+    app = Composition("App")
+    app.add(sensor.instantiate("s"))
+    app.add(sink.instantiate("k"))
+    app.connect("s", "out", "k", "in")
+    system = SystemModel("tte")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("s", "E1")
+    system.map("k", "E2")
+    system.configure_bus("tte", **bus_params)
+    return system
+
+
+def test_tte_deployment_delivers_data():
+    system = build_system(tt_period=ms(5))
+    assert system.validate() == []
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(60))
+    # Values flow: the last consumed sample is close to the latest write.
+    got = runtime.ecus["E2"].instances["k"].state["got"]
+    assert got >= 5
+    # TT deliveries happened on the switch.
+    assert len(runtime.trace.records("tte.rx_tt", "s.out")) >= 10
+
+
+def test_tte_delivery_is_time_triggered():
+    """Frames arrive on the stream's schedule, not at write instants."""
+    system = build_system(tt_period=ms(5))
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(50))
+    arrivals = runtime.trace.times("tte.rx_tt", "s.out")
+    diffs = {b - a for a, b in zip(arrivals, arrivals[1:])}
+    assert diffs == {ms(5)}  # exactly the TT period
+
+
+def test_tte_stream_overload_rejected():
+    system = build_system(tt_period=us(10))  # absurdly small period
+    sim = Simulator()
+    with pytest.raises(Exception) as err:
+        system.build(sim)
+    assert "do not fit" in str(err.value)
+
+
+def test_tte_activations_follow_writes_not_reshipments():
+    """The TT stream re-ships its buffer every 5 ms, but the COM layer
+    must deliver each *written* payload exactly once — otherwise stale
+    update bits would double-activate data-triggered tasks."""
+    system = build_system(tt_period=ms(5))
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(61))
+    completions = len(runtime.trace.records("task.complete", "k.consume"))
+    stream_deliveries = len(runtime.trace.records("tte.rx_tt", "s.out"))
+    # 7 writes (t=0..60); the one at 60 may still be in flight.
+    assert 6 <= completions <= 7
+    # Far fewer activations than TT dispatches (12+ in the window).
+    assert stream_deliveries >= 12
+    assert runtime.deadline_misses() == 0

@@ -1,0 +1,106 @@
+"""Unit tests for trace recording and derived metrics."""
+
+from repro.sim import Trace, summarize
+from repro.sim.clock import DriftingClock, precision
+
+
+def test_log_and_filter_by_category_prefix():
+    tr = Trace()
+    tr.log(1, "task.activate", "T1")
+    tr.log(2, "task.complete", "T1")
+    tr.log(3, "bus.tx", "F1")
+    assert len(tr.records("task")) == 2
+    assert len(tr.records("task.activate")) == 1
+    assert len(tr.records("bus.tx")) == 1
+    assert tr.records("bus") and tr.records("bus")[0].subject == "F1"
+
+
+def test_prefix_matching_is_token_based():
+    tr = Trace()
+    tr.log(1, "taskish.thing", "X")
+    assert tr.records("task") == []
+
+
+def test_filter_by_subject_and_predicate():
+    tr = Trace()
+    tr.log(1, "task.complete", "A", response=10)
+    tr.log(2, "task.complete", "B", response=99)
+    assert [r.subject for r in tr.records(subject="B")] == ["B"]
+    heavy = tr.records(predicate=lambda r: r.data.get("response", 0) > 50)
+    assert [r.subject for r in heavy] == ["B"]
+
+
+def test_spans_pairs_starts_with_following_ends():
+    tr = Trace()
+    tr.log(0, "s", "x")
+    tr.log(5, "e", "x")
+    tr.log(10, "s", "x")
+    tr.log(18, "e", "x")
+    tr.log(20, "s", "x")  # unmatched trailing start
+    assert tr.spans("s", "e", "x") == [(0, 5), (10, 18)]
+
+
+def test_response_times_from_spans():
+    tr = Trace()
+    tr.log(0, "task.activate", "T")
+    tr.log(7, "task.complete", "T")
+    tr.log(10, "task.activate", "T")
+    tr.log(13, "task.complete", "T")
+    assert tr.response_times("T") == [7, 3]
+
+
+def test_jitter_peak_to_peak():
+    tr = Trace()
+    for t in (0, 10, 25, 35):  # intervals 10, 15, 10
+        tr.log(t, "task.start", "T")
+    assert tr.jitter("task.start", "T") == 5
+
+
+def test_jitter_needs_three_records():
+    tr = Trace()
+    tr.log(0, "x", "T")
+    tr.log(10, "x", "T")
+    assert tr.jitter("x", "T") == 0
+
+
+def test_summarize_empty_and_nonempty():
+    assert summarize([]) == {"count": 0, "min": None, "avg": None, "max": None}
+    s = summarize([2, 4, 6])
+    assert (s["count"], s["min"], s["avg"], s["max"]) == (3, 2, 4.0, 6)
+
+
+def test_clear():
+    tr = Trace()
+    tr.log(0, "a", "b")
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_drifting_clock_fast_and_slow():
+    fast = DriftingClock(drift_ppm=100)
+    slow = DriftingClock(drift_ppm=-100)
+    t = 1_000_000_000  # 1 s
+    assert fast.local_time(t) == t + 100_000
+    assert slow.local_time(t) == t - 100_000
+    assert fast.error_at(t) == 100_000
+
+
+def test_clock_resynchronize_cancels_offset():
+    clock = DriftingClock(drift_ppm=200, offset_ns=5_000)
+    t = 500_000_000
+    clock.resynchronize(t)
+    assert clock.error_at(t) == 0
+    # error grows again after resync
+    assert clock.error_at(t + 1_000_000_000) > 0
+
+
+def test_precision_bound_covers_pairwise_drift():
+    clocks = [DriftingClock(drift_ppm=d) for d in (50, -80, 20)]
+    interval = 10_000_000  # 10 ms resync
+    p = precision(clocks, interval)
+    worst_pair = (clocks[0].drift_ppm - clocks[1].drift_ppm) / 1e6 * interval
+    assert p >= worst_pair
+
+
+def test_precision_empty_is_zero():
+    assert precision([], 1000) == 0

