@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fault campaign: end-to-end protection, recovery, and the sweep runner.
+
+A walkthrough of the robustness stack in three acts:
+
+1. an E2E-protected speed link over CAN catches an injected corruption
+   burst — every corrupted frame is blocked at the receiver, the
+   application never sees a bad value;
+2. the recovery orchestrator turns the confirmed error into reactions:
+   substitute the last good value, drop to limp mode, and heal back to
+   nominal (with hysteresis) once the fault clears;
+3. the campaign runner sweeps all five fault kinds of the paper's fault
+   hypothesis over the same scenario and prints the detection /
+   containment / recovery scorecard.
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro.analysis import format_robustness, robustness_report
+from repro.faults import (CORRUPTION, ComSignalAdapter, Fault,
+                          FaultInjector, ReferenceWorld, reference_cells,
+                          run_campaign)
+from repro.units import fmt_time, ms
+
+
+def act_1_protection():
+    print("=" * 64)
+    print("Act 1: E2E protection blocks a corruption burst")
+    print("=" * 64)
+    world = ReferenceWorld()
+    world.injector.inject(
+        ComSignalAdapter(world.rx, "speed"),
+        Fault(CORRUPTION, "speed", start=ms(50), duration=ms(100),
+              params={"value": 0xFFFF}))
+    world.sim.run_until(ms(300))
+    metrics = world.metrics()
+    corrupted = metrics["undetected_corrupted"]
+    print(f"  deliveries to the application : {metrics['app_deliveries']}")
+    print(f"  corrupted values delivered    : {corrupted}")
+    print(f"  E2E receiver verdict counts   : {world.receiver.counts}")
+    assert corrupted == 0, "a corrupted frame escaped the E2E check"
+    return world
+
+
+def act_2_recovery(world):
+    print()
+    print("=" * 64)
+    print("Act 2: the recovery orchestrator reacted and healed")
+    print("=" * 64)
+    for record in world.trace.records("recovery.escalate"):
+        print(f"  {fmt_time(record.time):>9}  escalate   "
+              f"{record.subject} -> {record.data['action']}")
+    for record in world.trace.records("recovery.deescalate"):
+        print(f"  {fmt_time(record.time):>9}  de-escalate "
+              f"{record.subject} <- {record.data['action']}")
+    snapshot = world.errors.snapshot()["speed_e2e"]
+    print(f"  DTC 0x{snapshot['dtc']:04X}: confirmed={snapshot['confirmed']} "
+          f"occurrences={snapshot['occurrences']}")
+    print(f"  mode history: "
+          + " -> ".join(mode for _, mode in world.modes.history))
+    assert not snapshot["confirmed"], "error did not heal"
+    assert world.modes.current == "nominal", "mode did not recover"
+    assert world.rx.substituted_signals() == [], "substitution still held"
+
+
+def act_3_campaign():
+    print()
+    print("=" * 64)
+    print("Act 3: the five-kind fault campaign scorecard")
+    print("=" * 64)
+    report = run_campaign(ReferenceWorld, reference_cells(),
+                          horizon=ms(300))
+    for result in report.results:
+        print(f"  {result.cell.kind:<15} detected via "
+              f"{result.detection_source:<19} in "
+              f"{fmt_time(result.detection_latency):>8}  "
+              f"contained={str(result.contained):<5} "
+              f"recovered={result.recovered}")
+    print(format_robustness(robustness_report(report)))
+    assert report.detection_rate == 1.0
+    assert report.recovery_rate == 1.0
+    return report
+
+
+def main():
+    world = act_1_protection()
+    act_2_recovery(world)
+    act_3_campaign()
+    print()
+    print("All three acts passed: faults detected, contained where the")
+    print("architecture allows, and the system healed back to nominal.")
+
+
+if __name__ == "__main__":
+    main()

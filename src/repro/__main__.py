@@ -1,9 +1,12 @@
-"""Command-line entry point: ``python -m repro {info,selftest}``.
+"""Command-line entry point: ``python -m repro {info,selftest,campaign}``.
 
 ``info`` prints the package inventory; ``selftest`` runs a miniature
 end-to-end scenario (component app -> RTE deployment over CAN -> timing
 analysis cross-check) and exits non-zero on any discrepancy — a quick
-installation sanity check.
+installation sanity check.  ``campaign`` runs the reference fault
+campaign (all five fault kinds against a protected speed link) and
+exits non-zero when a fault goes undetected, corrupts application data,
+or fails to recover; ``campaign --smoke`` runs a single cell for CI.
 """
 
 from __future__ import annotations
@@ -100,6 +103,34 @@ def selftest() -> int:
     return 0 if status == "PASS" else 1
 
 
+def campaign(args: list[str]) -> int:
+    """Run the reference fault campaign (the `campaign` subcommand)."""
+    from repro.analysis import format_robustness, robustness_report
+    from repro.faults import ReferenceWorld, reference_cells, run_campaign
+    from repro.units import ms
+
+    cells = reference_cells()
+    if "--smoke" in args:
+        cells = cells[:1]  # one corruption cell: fast CI regression gate
+    report = run_campaign(ReferenceWorld, cells, horizon=ms(300))
+    print(f"fault campaign: {report.cells} cell(s), horizon 300 ms")
+    for result in report.results:
+        status = "DETECTED" if result.detected else "UNDETECTED"
+        print(f"  {result.cell.kind:<16} on {result.cell.target:<10} "
+              f"{status:<10} dtcs={[hex(d) for d in result.confirmed_dtcs]} "
+              f"degraded={result.degraded} contained={result.contained} "
+              f"recovered={result.recovered}")
+    print(format_robustness(robustness_report(report)))
+    corrupted = sum(r.extra.get("undetected_corrupted", 0)
+                    for r in report.results)
+    healthy = (report.detection_rate == 1.0
+               and report.recovery_rate == 1.0
+               and corrupted == 0)
+    print(f"verdict: {'PASS' if healthy else 'FAIL'} "
+          f"(undetected corrupted deliveries: {corrupted})")
+    return 0 if healthy else 1
+
+
 def main(argv: list[str]) -> int:
     """CLI dispatch; returns the process exit code."""
     command = argv[1] if len(argv) > 1 else "info"
@@ -107,7 +138,10 @@ def main(argv: list[str]) -> int:
         return info()
     if command == "selftest":
         return selftest()
-    print(f"unknown command {command!r}; use 'info' or 'selftest'")
+    if command == "campaign":
+        return campaign(argv[2:])
+    print(f"unknown command {command!r}; "
+          f"use 'info', 'selftest' or 'campaign'")
     return 2
 
 

@@ -5,7 +5,8 @@ from repro.analysis import can_rta, flexray_rta, rta
 from repro.analysis.e2e import Chain, EVENT, SAMPLED, Stage
 from repro.analysis.holistic import HolisticModel, HolisticResult
 from repro.analysis.probes import ChainProbe
-from repro.analysis.system_report import TimingReport, timing_report
+from repro.analysis.system_report import (TimingReport, format_robustness,
+                                          robustness_report, timing_report)
 from repro.analysis.rta import (RtaResult, analyze, blocking_time,
                                 liu_layland_bound, response_time,
                                 utilization)
@@ -25,6 +26,7 @@ __all__ = [
     "can_rta", "flexray_rta", "rta",
     "Chain", "ChainProbe", "EVENT", "SAMPLED", "Stage",
     "HolisticModel", "HolisticResult", "TimingReport", "timing_report",
+    "format_robustness", "robustness_report",
     "RtaResult", "analyze", "blocking_time", "liu_layland_bound",
     "response_time", "utilization",
     "admissible_new_frame", "admissible_new_task", "critical_bitrate",

@@ -8,6 +8,9 @@ from repro.bsw.errors import (ErrorEvent, ErrorManager, FAILED, PASSED,
 from repro.bsw.gateway import (CanGateway, FlexRayCanGateway,
                                MultiCanGateway)
 from repro.bsw.modes import ModeMachine
+from repro.bsw.recovery import (LEVEL_DEGRADE, LEVEL_NONE, LEVEL_RESTART,
+                                LEVEL_SUBSTITUTE, RecoveryOrchestrator,
+                                RecoveryPolicy)
 from repro.bsw.netmgmt import (AWAKE, BUS_SLEEP, NmCluster, NmNode,
                                READY_TO_SLEEP)
 from repro.bsw.nvram import NvBlock, NvramManager
@@ -19,6 +22,8 @@ __all__ = [
     "ErrorEvent", "ErrorManager", "FAILED", "PASSED", "SEVERITY_HIGH",
     "SEVERITY_LOW", "SEVERITY_MEDIUM",
     "CanGateway", "FlexRayCanGateway", "ModeMachine", "MultiCanGateway",
+    "LEVEL_DEGRADE", "LEVEL_NONE", "LEVEL_RESTART", "LEVEL_SUBSTITUTE",
+    "RecoveryOrchestrator", "RecoveryPolicy",
     "AWAKE", "BUS_SLEEP", "NmCluster", "NmNode", "READY_TO_SLEEP",
     "NvBlock", "NvramManager", "SupervisedEntity", "WatchdogManager",
 ]

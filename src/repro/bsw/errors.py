@@ -87,6 +87,12 @@ class ErrorManager:
         if status == FAILED:
             event.counter = min(event.threshold,
                                 event.counter + event.fail_step)
+            if event.confirmed:
+                # Keep the freeze frame current: every re-confirmation
+                # of an already-confirmed error refreshes the stored
+                # context (the first confirm's snapshot alone would hide
+                # how the failure evolved).
+                self._stamp_freeze_frame(event, context)
         elif status == PASSED:
             event.counter = max(0, event.counter - event.pass_step)
         else:
@@ -94,8 +100,7 @@ class ErrorManager:
         if not event.confirmed and event.counter >= event.threshold:
             event.confirmed = True
             event.occurrences += 1
-            event.freeze_frame = dict(context or {},
-                                      time=self._now())
+            self._stamp_freeze_frame(event, context)
             self.trace.log(self._now(), "dem.confirmed", name,
                            dtc=event.dtc)
             for listener in self._listeners:
@@ -106,10 +111,37 @@ class ErrorManager:
             for listener in self._listeners:
                 listener(event, False)
 
+    def _stamp_freeze_frame(self, event: ErrorEvent,
+                            context: Optional[dict]) -> None:
+        first_time = (event.freeze_frame or {}).get("first_time",
+                                                    self._now())
+        event.freeze_frame = dict(context or {}, time=self._now(),
+                                  first_time=first_time)
+
     # ------------------------------------------------------------------
     def event(self, name: str) -> ErrorEvent:
         """Look up a registered event by name."""
         return self._events[name]
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-event debounce/confirmation state, for reports.
+
+        Returns ``{event name: {dtc, severity, counter, confirmed,
+        occurrences, freeze_frame}}`` — the campaign runner's view of
+        what the error manager saw during a cell.
+        """
+        return {
+            name: {
+                "dtc": e.dtc,
+                "severity": e.severity,
+                "counter": e.counter,
+                "confirmed": e.confirmed,
+                "occurrences": e.occurrences,
+                "freeze_frame": dict(e.freeze_frame)
+                if e.freeze_frame else None,
+            }
+            for name, e in sorted(self._events.items())
+        }
 
     def confirmed_events(self) -> list[ErrorEvent]:
         """Events currently in the confirmed (debounced-failed) state."""

@@ -90,6 +90,24 @@ class WatchdogManager:
                 f"{self.name}: unknown entity {entity_name!r}")
         return entity
 
+    def reset(self, entity_name: str) -> bool:
+        """Watchdog-triggered partition restart of a supervised entity.
+
+        Clears the latched violation and resumes windowed supervision
+        (the violation stopped the check chain).  Returns True when a
+        violation was actually cleared, False when the entity was
+        healthy (no restart needed, supervision keeps running).
+        """
+        entity = self._require(entity_name)
+        if not entity.violated:
+            return False
+        entity.violated = False
+        entity.missed_windows = 0
+        entity.kicks_in_window = 0
+        self.trace.log(self.sim.now, "wdg.reset", entity_name)
+        self._schedule_check(entity)
+        return True
+
     def status(self, entity_name: str) -> dict:
         """Current supervision verdict for an entity."""
         entity = self._require(entity_name)

@@ -2,6 +2,10 @@
 
 from repro.com.com import (CanComAdapter, ComStack, DIRECT, FlexRayComAdapter,
                            MIXED, PERIODIC, TteComAdapter, TxPdu)
+from repro.com.e2e import (E2E_CRC_ERROR, E2E_OK, E2E_REPEATED, E2E_TIMEOUT,
+                           E2E_VERDICTS, E2E_WRONG_SEQUENCE, E2eProfile,
+                           E2eReceiver, E2eSender, crc8, e2e_protected_pdu,
+                           protect_link)
 from repro.com.ipdu import IPdu, SignalMapping, pack_sequentially
 from repro.com.packing import (PackableSignal, PackedFrame,
                                pack_signals, packing_bandwidth_bps,
@@ -11,6 +15,9 @@ from repro.com.signal import PENDING, SignalSpec, SignalValue, TRIGGERED
 __all__ = [
     "CanComAdapter", "ComStack", "DIRECT", "FlexRayComAdapter", "MIXED",
     "PERIODIC", "TteComAdapter", "TxPdu",
+    "E2E_CRC_ERROR", "E2E_OK", "E2E_REPEATED", "E2E_TIMEOUT",
+    "E2E_VERDICTS", "E2E_WRONG_SEQUENCE", "E2eProfile", "E2eReceiver",
+    "E2eSender", "crc8", "e2e_protected_pdu", "protect_link",
     "IPdu", "SignalMapping", "pack_sequentially",
     "PackableSignal", "PackedFrame", "pack_signals",
     "packing_bandwidth_bps", "unpacked_bandwidth_bps",

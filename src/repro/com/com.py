@@ -157,9 +157,20 @@ class ComStack:
         self._timeout_callbacks: dict[str, list[Callable]] = {}
         self._timeout_handles: dict[str, object] = {}
         self.timed_out: set[str] = set()
+        #: interposers on the rx path (fault injection): each gets
+        #: (pdu_name, payload) and returns the payload to pass on, or
+        #: None to drop the PDU.  A registry instead of ad-hoc method
+        #: capture so several interposers stack and revert safely.
+        self._rx_filters: list[Callable[[str, int], Optional[int]]] = []
+        #: e2e protection: pdu name -> E2eSender / E2eReceiver.
+        self._tx_protectors: dict[str, object] = {}
+        self._rx_checkers: dict[str, object] = {}
+        #: forced app-visible signal values (error reaction: substitute
+        #: a default/last-good value while the source is untrusted).
+        self._substitutions: dict[str, int] = {}
         # Late-bound so fault adapters can interpose on _on_pdu.
         adapter.set_rx_callback(
-            lambda name, payload: self._on_pdu(name, payload))
+            lambda name, payload: self._dispatch_pdu(name, payload))
 
     # ------------------------------------------------------------------
     # Configuration
@@ -194,6 +205,53 @@ class ComStack:
             if mapping.spec.timeout is not None:
                 self._arm_timeout(mapping.spec)
 
+    def tx_pdu(self, pdu_name: str) -> TxPdu:
+        """Transmit-side state of a registered tx PDU."""
+        tx = self._tx_pdus.get(pdu_name)
+        if tx is None:
+            raise ConfigurationError(
+                f"node {self.node}: unknown tx pdu {pdu_name!r}")
+        return tx
+
+    def rx_pdu(self, pdu_name: str) -> IPdu:
+        """A registered rx PDU by name."""
+        ipdu = self._rx_pdus.get(pdu_name)
+        if ipdu is None:
+            raise ConfigurationError(
+                f"node {self.node}: unknown rx pdu {pdu_name!r}")
+        return ipdu
+
+    def protect_tx_pdu(self, pdu_name: str, sender) -> None:
+        """Attach an E2E sender: every transmission of the PDU is
+        stamped with the sender's counter and CRC fields."""
+        self.tx_pdu(pdu_name)  # must exist
+        if pdu_name in self._tx_protectors:
+            raise ConfigurationError(
+                f"node {self.node}: tx pdu {pdu_name} already protected")
+        self._tx_protectors[pdu_name] = sender
+
+    def protect_rx_pdu(self, pdu_name: str, receiver) -> None:
+        """Attach an E2E receiver: every reception of the PDU is checked
+        before its signals reach the application; receptions that fail
+        the check are contained (values and callbacks untouched)."""
+        self.rx_pdu(pdu_name)  # must exist
+        if pdu_name in self._rx_checkers:
+            raise ConfigurationError(
+                f"node {self.node}: rx pdu {pdu_name} already protected")
+        self._rx_checkers[pdu_name] = receiver
+
+    def add_rx_filter(self,
+                      fltr: Callable[[str, int], Optional[int]]) -> None:
+        """Install an rx-path interposer (idempotent per filter)."""
+        if fltr not in self._rx_filters:
+            self._rx_filters.append(fltr)
+
+    def remove_rx_filter(self,
+                         fltr: Callable[[str, int], Optional[int]]) -> None:
+        """Uninstall an rx-path interposer (no-op when absent)."""
+        if fltr in self._rx_filters:
+            self._rx_filters.remove(fltr)
+
     def _register_signal(self, spec: SignalSpec) -> None:
         existing = self._signals.get(spec.name)
         if existing is not None and existing.spec is not spec:
@@ -218,8 +276,37 @@ class ComStack:
             self._transmit(tx)
 
     def read_signal(self, name: str) -> int:
-        """Current value of a signal (initial value before any reception)."""
+        """Current value of a signal (initial value before any reception).
+
+        While a substitution is active (error reaction), the substituted
+        value is returned instead of the received one.
+        """
+        substituted = self._substitutions.get(name)
+        if substituted is not None:
+            return substituted
         return self._require(name).value
+
+    def substitute_signal(self, name: str, value: int) -> None:
+        """Force the app-visible value of a signal (degraded operation:
+        reads return ``value`` until :meth:`clear_substitution`).  The
+        underlying reception state keeps updating in the background so
+        clearing the substitution resumes with live data."""
+        signal = self._require(name)
+        signal.spec._check_range(value)
+        self._substitutions[name] = value
+        self.trace.log(self.sim.now, "com.substituted", name,
+                       node=self.node, value=value)
+
+    def clear_substitution(self, name: str) -> None:
+        """Drop a forced signal value; reads see live data again."""
+        self._require(name)
+        if self._substitutions.pop(name, None) is not None:
+            self.trace.log(self.sim.now, "com.substitution_cleared", name,
+                           node=self.node)
+
+    def substituted_signals(self) -> list[str]:
+        """Names of signals currently carrying a forced value."""
+        return sorted(self._substitutions)
 
     def send_pdu(self, pdu_name: str) -> None:
         """Transmit a tx PDU now, regardless of its mode.
@@ -297,6 +384,9 @@ class ComStack:
             values[mapping.spec.name] = signal.value
             if signal.consume_update():
                 updated.add(mapping.spec.name)
+        protector = self._tx_protectors.get(tx.ipdu.name)
+        if protector is not None:
+            protector.protect(values, updated)
         payload = tx.ipdu.pack(values, updated)
         tx.tx_count += 1
         self.trace.log(self.sim.now, "com.tx", tx.ipdu.name, node=self.node)
@@ -305,6 +395,14 @@ class ComStack:
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
+    def _dispatch_pdu(self, pdu_name: str, payload: int) -> None:
+        """Adapter entry point: run interposers, then process the PDU."""
+        for fltr in list(self._rx_filters):
+            payload = fltr(pdu_name, payload)
+            if payload is None:
+                return  # interposer dropped the PDU
+        self._on_pdu(pdu_name, payload)
+
     def _on_pdu(self, pdu_name: str, payload: int) -> None:
         ipdu = self._rx_pdus.get(pdu_name)
         if ipdu is None:
@@ -314,6 +412,16 @@ class ComStack:
                 f"node {self.node}: pdu {pdu_name} carried non-integer "
                 f"payload {payload!r}")
         now = self.sim.now
+        checker = self._rx_checkers.get(pdu_name)
+        if checker is not None:
+            from repro.com.e2e import E2E_OK
+            if checker.check(payload) != E2E_OK:
+                # Containment: a failed check never reaches the
+                # application — no value update, no callbacks, no
+                # deadline-rearm credit for the corrupt reception.
+                self.trace.log(now, "com.rx_blocked", pdu_name,
+                               node=self.node, verdict=checker.state)
+                return
         self.trace.log(now, "com.rx", pdu_name, node=self.node)
         for name, decoded in ipdu.unpack(payload).items():
             signal = self._signals[name]

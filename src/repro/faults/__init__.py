@@ -1,5 +1,10 @@
 """Fault injection and containment monitoring (paper Section 4)."""
 
+from repro.faults.campaign import (CampaignCell, CampaignReport,
+                                   CampaignWorld, CellResult,
+                                   DETECTION_CATEGORIES, ReferenceWorld,
+                                   grid, reference_cells, run_campaign,
+                                   run_cell)
 from repro.faults.injector import (CanNodeAdapter, ComSignalAdapter,
                                    FaultAdapter, FaultInjector,
                                    IpCoreAdapter, TaskAdapter,
@@ -11,6 +16,9 @@ from repro.faults.monitor import (DAMAGE_CATEGORIES, assert_contained,
                                   degradation, is_isolated)
 
 __all__ = [
+    "CampaignCell", "CampaignReport", "CampaignWorld", "CellResult",
+    "DETECTION_CATEGORIES", "ReferenceWorld", "grid", "reference_cells",
+    "run_campaign", "run_cell",
     "CanNodeAdapter", "ComSignalAdapter", "FaultAdapter", "FaultInjector",
     "IpCoreAdapter", "TaskAdapter", "TtpNodeAdapter",
     "BABBLING", "CORRUPTION", "CRASH", "FAULT_KINDS", "Fault", "OMISSION",

@@ -78,26 +78,41 @@ class TaskAdapter(FaultAdapter):
         super().__init__(task.name)
         self.kernel = kernel
         self.task = task
+        # Healthy values are captured once, on the *first* overlapping
+        # apply of each kind, so stacked fault windows reverted in any
+        # order always restore the original behaviour.
         self._saved_execution_time = None
+        self._overrun_depth = 0
         self._saved_max_activations = None
+        self._crash_depth = 0
 
     def apply(self, fault: Fault) -> None:
         """Activate the overrun or crash behaviour on the task."""
         if fault.kind == TIMING_OVERRUN:
             factor = fault.params.get("factor", 10.0)
             base = self.task.spec.wcet
-            self._saved_execution_time = self.task.execution_time
+            if self._overrun_depth == 0:
+                self._saved_execution_time = self.task.execution_time
+            self._overrun_depth += 1
             self.task.execution_time = lambda: max(1, round(base * factor))
         else:  # CRASH: drop all future activations
-            self._saved_max_activations = self.task.spec.max_activations
+            if self._crash_depth == 0:
+                self._saved_max_activations = self.task.spec.max_activations
+            self._crash_depth += 1
             self.task.spec.max_activations = 0
 
     def revert(self, fault: Fault) -> None:
         """Restore the task's healthy behaviour."""
         if fault.kind == TIMING_OVERRUN:
-            self.task.execution_time = self._saved_execution_time
+            self._overrun_depth = max(0, self._overrun_depth - 1)
+            if self._overrun_depth == 0:
+                self.task.execution_time = self._saved_execution_time
+                self._saved_execution_time = None
         else:
-            self.task.spec.max_activations = self._saved_max_activations
+            self._crash_depth = max(0, self._crash_depth - 1)
+            if self._crash_depth == 0:
+                self.task.spec.max_activations = self._saved_max_activations
+                self._saved_max_activations = None
 
 
 class CanNodeAdapter(FaultAdapter):
@@ -164,7 +179,13 @@ class IpCoreAdapter(FaultAdapter):
 
 class ComSignalAdapter(FaultAdapter):
     """Faults on a COM signal path: omission (drop every reception) and
-    corruption (overwrite received values)."""
+    corruption (overwrite received values).
+
+    The adapter registers a *filter* in the ComStack's rx-filter
+    registry rather than capturing ``_on_pdu`` itself: several adapters
+    on the same stack stack cleanly, installs are idempotent, and
+    reverting one adapter never leaves another holding a stale chain.
+    """
 
     supports = (OMISSION, CORRUPTION)
 
@@ -172,36 +193,35 @@ class ComSignalAdapter(FaultAdapter):
         super().__init__(f"{com_stack.node}:{signal_name}")
         self.com = com_stack
         self.signal_name = signal_name
-        self._original_on_pdu = None
         self._active_fault = None
 
     def apply(self, fault: Fault) -> None:
         """Interpose on the COM rx path (omission/corruption)."""
         self._active_fault = fault
-        if self._original_on_pdu is None:
-            self._original_on_pdu = self.com._on_pdu
-            self.com._on_pdu = self._filtered_on_pdu
+        self.com.add_rx_filter(self._filter)
 
     def revert(self, fault: Fault) -> None:
         """Stop filtering; the interposer stays installed but passive."""
         self._active_fault = None
 
-    def _filtered_on_pdu(self, pdu_name: str, payload: int) -> None:
+    def uninstall(self) -> None:
+        """Remove the interposer from the stack entirely."""
+        self._active_fault = None
+        self.com.remove_rx_filter(self._filter)
+
+    def _filter(self, pdu_name: str, payload: int) -> Optional[int]:
         fault = self._active_fault
         if fault is None:
-            self._original_on_pdu(pdu_name, payload)
-            return
+            return payload
         ipdu = self.com._rx_pdus.get(pdu_name)
         if ipdu is None or self.signal_name not in ipdu.signal_names():
-            self._original_on_pdu(pdu_name, payload)
-            return
+            return payload
         if fault.kind == OMISSION:
-            return  # drop the whole PDU carrying the signal
+            return None  # drop the whole PDU carrying the signal
         mapping = ipdu.mapping_of(self.signal_name)
         stuck = fault.params.get("value", mapping.spec.max_value)
         mask = ((1 << mapping.spec.width_bits) - 1) << mapping.start_bit
-        corrupted = (payload & ~mask) | (stuck << mapping.start_bit)
-        self._original_on_pdu(pdu_name, corrupted)
+        return (payload & ~mask) | (stuck << mapping.start_bit)
 
 
 class FaultInjector:
@@ -213,8 +233,29 @@ class FaultInjector:
         self.faults: list[Fault] = []
 
     def inject(self, adapter: FaultAdapter, fault: Fault) -> Fault:
-        """Schedule a fault's activation (and deactivation) window."""
+        """Schedule a fault's activation (and deactivation) window.
+
+        The window is validated against the simulator clock: a fault
+        whose deactivation would fire at or before its activation
+        (zero/negative duration, or a window already entirely in the
+        past) is rejected instead of silently scheduling a deactivate
+        that never follows an active phase.
+        """
         adapter.check(fault)
+        if fault.duration is not None:
+            if fault.duration <= 0:
+                raise ConfigurationError(
+                    f"fault on {fault.target}: duration must be > 0, "
+                    f"got {fault.duration}")
+            if fault.end < fault.start:
+                raise ConfigurationError(
+                    f"fault on {fault.target}: end {fault.end} before "
+                    f"start {fault.start}")
+            if fault.end <= self.sim.now:
+                raise ConfigurationError(
+                    f"fault on {fault.target}: window "
+                    f"[{fault.start}, {fault.end}) already past at "
+                    f"t={self.sim.now}")
         self.faults.append(fault)
 
         def activate():

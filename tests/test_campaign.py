@@ -1,0 +1,146 @@
+"""Tests for the fault-campaign runner and its reference scenario."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (BABBLING, CORRUPTION, CRASH, CampaignCell,
+                          OMISSION, ReferenceWorld, TIMING_OVERRUN, grid,
+                          reference_cells, run_campaign, run_cell)
+from repro.analysis import format_robustness, robustness_report
+from repro.units import ms
+
+HORIZON = ms(300)
+
+
+def run_reference(cells=None):
+    return run_campaign(ReferenceWorld, cells or reference_cells(),
+                        horizon=HORIZON)
+
+
+# Run the full 5-kind matrix once and share the report across tests.
+@pytest.fixture(scope="module")
+def report():
+    return run_reference()
+
+
+def by_kind(report, kind):
+    (result,) = [r for r in report.results if r.cell.kind == kind]
+    return result
+
+
+def test_grid_builds_cartesian_matrix_with_pruning():
+    cells = grid([CORRUPTION, CRASH], ["speed", "producer"], [ms(10)],
+                 [ms(20)],
+                 supported=lambda kind, target:
+                 not (kind == CRASH and target == "speed"))
+    labels = [c.label for c in cells]
+    assert len(cells) == 3
+    assert f"{CRASH}@speed+{ms(10)}" not in labels
+    assert cells[0].end == ms(30)
+
+
+def test_run_cell_rejects_window_beyond_horizon():
+    cell = CampaignCell(CORRUPTION, "speed", onset=ms(50), duration=ms(400),
+                        params={"value": 0xFFFF})
+    with pytest.raises(ConfigurationError):
+        run_cell(ReferenceWorld, cell, horizon=HORIZON)
+
+
+def test_every_fault_kind_is_detected(report):
+    assert report.cells == 5
+    assert report.detection_rate == 1.0
+    assert not report.summary()["undetected"]
+
+
+def test_detection_latency_within_supervision_budget(report):
+    # Every detector must fire within the slowest supervision budget
+    # (the 30 ms E2E reception timeout).
+    for result in report.results:
+        assert result.detection_latency is not None
+        assert result.detection_latency <= ReferenceWorld.E2E_TIMEOUT, \
+            result.cell.label
+
+
+def test_expected_detectors_fire(report):
+    from repro.faults.campaign import DTC_PRODUCER_ALIVE, DTC_SPEED_E2E
+    expectations = {
+        CORRUPTION: ("e2e.crc_error", DTC_SPEED_E2E),
+        OMISSION: ("e2e.timeout", DTC_SPEED_E2E),
+        BABBLING: ("e2e.timeout", DTC_SPEED_E2E),
+        CRASH: ("wdg.violation", DTC_PRODUCER_ALIVE),
+        TIMING_OVERRUN: ("task.budget_overrun", DTC_PRODUCER_ALIVE),
+    }
+    for kind, (source, dtc) in expectations.items():
+        result = by_kind(report, kind)
+        assert result.detection_source == source, kind
+        assert dtc in result.confirmed_dtcs, kind
+
+
+def test_every_cell_degrades_then_recovers(report):
+    assert report.recovery_rate == 1.0
+    for result in report.results:
+        assert result.degraded, result.cell.label
+        assert result.recovered, result.cell.label
+        assert result.recovery_time is not None
+        assert result.cell.end <= result.recovery_time <= HORIZON
+
+
+def test_zero_undetected_corrupted_deliveries(report):
+    for result in report.results:
+        assert result.extra["undetected_corrupted"] == 0, result.cell.label
+        assert result.extra["app_deliveries"] > 0, result.cell.label
+
+
+def test_containment_matches_the_paper(report):
+    # CAN cannot contain a babbling idiot (paper Section 4); every
+    # other fault stays inside its region.
+    for result in report.results:
+        expected = result.cell.kind != BABBLING
+        assert result.contained == expected, result.cell.label
+    assert report.containment_rate == pytest.approx(4 / 5)
+
+
+def test_corruption_cell_substitutes_while_faulty():
+    cell = reference_cells()[0]
+    assert cell.kind == CORRUPTION
+    world = ReferenceWorld()
+    world.injector.inject(world.adapter_for(cell), cell.fault())
+    # Stop mid-window (fault runs 50..150 ms): the orchestrator must be
+    # holding the substitute in place while the error stays confirmed.
+    world.sim.run_until(ms(120))
+    assert world.rx.substituted_signals() == ["speed"]
+    assert world.errors.confirmed_events()
+
+
+def test_report_rows_are_flat_dicts(report):
+    rows = report.to_dicts()
+    assert len(rows) == 5
+    for row in rows:
+        assert row["detected"] is True
+        assert "undetected_corrupted" in row
+        assert isinstance(row["dtcs"], list)
+
+
+def test_robustness_report_and_formatting(report):
+    analysis = robustness_report(report)
+    assert analysis["summary"]["detection_rate"] == 1.0
+    assert set(analysis["by_kind"]) == {CORRUPTION, OMISSION, BABBLING,
+                                        CRASH, TIMING_OVERRUN}
+    text = format_robustness(analysis)
+    assert "detection" in text and "recovery" in text
+    assert BABBLING in text  # the escaped-containment cell is named
+
+
+def test_cells_are_independent_and_deterministic():
+    cell = reference_cells()[0]
+    first = run_cell(ReferenceWorld, cell, horizon=HORIZON)
+    second = run_cell(ReferenceWorld, cell, horizon=HORIZON)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_cli_campaign_smoke(capsys):
+    from repro.__main__ import main
+    assert main(["repro", "campaign", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: PASS" in out
+    assert "undetected corrupted deliveries: 0" in out

@@ -72,3 +72,13 @@ def test_mpsoc_integration(capsys):
     assert "INTERFERED" in out  # shared bus
     assert "ISOLATED" in out    # TDMA NoC
     assert "babble deliveries after gating : 0" in out
+
+
+def test_fault_campaign(capsys):
+    out = run_example("fault_campaign", capsys)
+    assert "corrupted values delivered    : 0" in out
+    assert "DTC 0x4A01: confirmed=False" in out
+    assert "mode history: nominal -> limp -> nominal" in out
+    assert "detection rate     : 100%" in out
+    assert "recovery rate      : 100%" in out
+    assert "All three acts passed" in out

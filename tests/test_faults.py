@@ -204,3 +204,102 @@ def test_compare_runs_drives_both_variants():
     assert baseline == [100, 150]
     assert faulted == [100, 200]
     assert not is_isolated(baseline, faulted)
+
+
+def test_com_adapters_stack_and_revert_out_of_order():
+    sim = Simulator()
+    bus = CanBus(sim, 500_000)
+    signals = [SignalSpec("speed", 16), SignalSpec("rpm", 16)]
+    tx = ComStack(sim, CanComAdapter(
+        bus.attach("A"), {"P": CanFrameSpec("P", 0x100)}), "A")
+    rx = ComStack(sim, CanComAdapter(bus.attach("B"), {}), "B")
+    tx.add_tx_pdu(pack_sequentially("P", 8, signals),
+                  mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(pack_sequentially(
+        "P", 8, [SignalSpec("speed", 16), SignalSpec("rpm", 16)]))
+    tx.write_signal("speed", 7)
+    tx.write_signal("rpm", 900)
+    injector = FaultInjector(sim)
+    # Two interposers on the same stack; the speed window closes first
+    # even though it was installed second (out-of-order revert).
+    injector.inject(ComSignalAdapter(rx, "rpm"),
+                    Fault(CORRUPTION, "rpm", start=ms(15),
+                          duration=ms(40), params={"value": 0xBEEF}))
+    injector.inject(ComSignalAdapter(rx, "speed"),
+                    Fault(CORRUPTION, "speed", start=ms(15),
+                          duration=ms(20), params={"value": 0xDEAD}))
+    sim.run_until(ms(25))
+    assert rx.read_signal("speed") == 0xDEAD  # both active
+    assert rx.read_signal("rpm") == 0xBEEF
+    sim.run_until(ms(45))
+    assert rx.read_signal("speed") == 7       # speed reverted...
+    assert rx.read_signal("rpm") == 0xBEEF    # ...rpm still faulty
+    sim.run_until(ms(65))
+    assert rx.read_signal("speed") == 7       # both clean again
+    assert rx.read_signal("rpm") == 900
+
+
+def test_com_adapter_install_is_idempotent():
+    sim, tx, rx = com_pair()
+    tx.write_signal("speed", 7)
+    adapter = ComSignalAdapter(rx, "speed")
+    injector = FaultInjector(sim)
+    # Back-to-back windows through the same adapter: the second apply
+    # must not install a second interposer (the old capture-the-callback
+    # scheme double-wrapped the rx path here).
+    injector.inject(adapter, Fault(OMISSION, "speed", start=ms(15),
+                                   duration=ms(10)))
+    injector.inject(adapter, Fault(OMISSION, "speed", start=ms(35),
+                                   duration=ms(10)))
+    sim.run_until(ms(60))
+    assert len(rx._rx_filters) == 1
+    assert rx.read_signal("speed") == 7  # passive filter passes through
+    adapter.uninstall()
+    assert rx._rx_filters == []
+
+
+def test_inject_rejects_invalid_windows():
+    sim = Simulator()
+    injector = FaultInjector(sim)
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    task = kernel.add_task(TaskSpec("U", wcet=ms(1), period=ms(10)))
+    adapter = TaskAdapter(kernel, task)
+    with pytest.raises(ConfigurationError):
+        injector.inject(adapter, Fault(CRASH, "U", start=ms(10),
+                                       duration=0))
+    with pytest.raises(ConfigurationError):
+        injector.inject(adapter, Fault(CRASH, "U", start=ms(10),
+                                       duration=-ms(5)))
+    sim.run_until(ms(50))
+    with pytest.raises(ConfigurationError):  # window entirely in the past
+        injector.inject(adapter, Fault(CRASH, "U", start=ms(10),
+                                       duration=ms(20)))
+    assert injector.faults == []
+
+
+def test_overlapping_task_faults_revert_out_of_order():
+    sim = Simulator()
+    kernel = EcuKernel(sim, FixedPriorityScheduler())
+    task = kernel.add_task(TaskSpec("T", wcet=ms(1), period=ms(10),
+                                    budget=ms(2)))
+    healthy_execution_time = task.execution_time
+    healthy_max_activations = task.spec.max_activations
+    injector = FaultInjector(sim, kernel.trace)
+    adapter = TaskAdapter(kernel, task)
+    # Overrun window [15, 55) wraps crash window [25, 40): the crash
+    # reverts while the overrun is still active.
+    injector.inject(adapter, Fault(TIMING_OVERRUN, "T", start=ms(15),
+                                   duration=ms(40),
+                                   params={"factor": 5.0}))
+    injector.inject(adapter, Fault(CRASH, "T", start=ms(25),
+                                   duration=ms(15)))
+    sim.run_until(ms(45))
+    # Crash reverted mid-overrun: activations resume, overrun persists.
+    assert task.spec.max_activations == healthy_max_activations
+    assert task.execution_time is not healthy_execution_time
+    sim.run_until(ms(80))
+    # Both windows closed: the healthy behaviour is fully restored.
+    assert task.execution_time is healthy_execution_time
+    assert task.spec.max_activations == healthy_max_activations
+    assert len(kernel.trace.records("task.budget_overrun", "T")) > 0
+    assert task.jobs_completed > 0

@@ -1,0 +1,262 @@
+"""Tests for the recovery orchestrator and its ErrorManager/watchdog hooks."""
+
+import pytest
+
+from repro.bsw import (ErrorEvent, ErrorManager, FAILED, ModeMachine,
+                       PASSED, RecoveryOrchestrator, RecoveryPolicy)
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, Trace
+from repro.units import ms
+
+
+def make_world(**policy_kwargs):
+    sim = Simulator()
+    trace = Trace()
+    errors = ErrorManager("SYS", trace=trace, now=lambda: sim.now)
+    errors.register(ErrorEvent("sensor", 0x1111, threshold=2))
+    modes = ModeMachine("vehicle", ["nominal", "limp"], "nominal",
+                        trace=trace)
+    modes.bind_clock(lambda: sim.now)
+    modes.allow("nominal", "limp")
+    modes.allow("limp", "nominal")
+    orch = RecoveryOrchestrator(sim, errors, modes=modes, trace=trace)
+    orch.add_policy(RecoveryPolicy("sensor", degraded_mode="limp",
+                                   **policy_kwargs))
+    return sim, trace, errors, modes, orch
+
+
+def confirm(errors, name="sensor", times=2):
+    for _ in range(times):
+        errors.report(name, FAILED)
+
+
+def heal(errors, name="sensor", times=2):
+    for _ in range(times):
+        errors.report(name, PASSED)
+
+
+def test_policy_requires_a_reaction_and_valid_holds():
+    with pytest.raises(ConfigurationError):
+        RecoveryPolicy("sensor")
+    with pytest.raises(ConfigurationError):
+        RecoveryPolicy("sensor", degraded_mode="limp", heal_hold=-1)
+
+
+def test_policy_builds_chain_from_configured_reactions():
+    policy = RecoveryPolicy("sensor", signal="speed",
+                            degraded_mode="limp", restart_entity="t")
+    assert policy.chain == ["substitute", "degrade", "restart"]
+    assert RecoveryPolicy("sensor", restart_entity="t").chain == ["restart"]
+
+
+def test_add_policy_validates_bindings():
+    sim = Simulator()
+    errors = ErrorManager("SYS")
+    errors.register(ErrorEvent("sensor", 0x1111))
+    orch = RecoveryOrchestrator(sim, errors)
+    with pytest.raises(ConfigurationError):
+        orch.add_policy(RecoveryPolicy("sensor", degraded_mode="limp"))
+    with pytest.raises(ConfigurationError):
+        orch.add_policy(RecoveryPolicy("sensor", signal="speed"))
+    with pytest.raises(ConfigurationError):
+        orch.add_policy(RecoveryPolicy("sensor", restart_entity="t"))
+
+
+def test_confirmation_escalates_to_degraded_mode():
+    sim, trace, errors, modes, orch = make_world()
+    assert orch.level_name("sensor") == "none"
+    confirm(errors)
+    assert modes.current == "limp"
+    assert orch.level("sensor") == 1
+    assert trace.records("recovery.escalate", "sensor")
+
+
+def test_heal_deescalates_after_hold_with_hysteresis():
+    sim, trace, errors, modes, orch = make_world(heal_hold=ms(20))
+    confirm(errors)
+    heal(errors)
+    # Hysteresis: mode stays degraded until the heal hold elapses.
+    sim.run_until(ms(10))
+    assert modes.current == "limp"
+    sim.run_until(ms(30))
+    assert modes.current == "nominal"
+    assert orch.level("sensor") == 0
+
+
+def test_relapse_during_hold_cancels_deescalation():
+    sim, trace, errors, modes, orch = make_world(heal_hold=ms(20))
+    confirm(errors)
+    heal(errors)
+    sim.run_until(ms(10))
+    confirm(errors)  # fault returns before the hold elapses
+    sim.run_until(ms(100))
+    assert modes.current == "limp"
+    assert orch.level("sensor") == 1
+
+
+def test_multi_level_chain_walks_up_and_back_down():
+    sim = Simulator()
+    trace = Trace()
+    errors = ErrorManager("SYS", trace=trace, now=lambda: sim.now)
+    errors.register(ErrorEvent("sensor", 0x1111, threshold=2))
+    modes = ModeMachine("vehicle", ["nominal", "limp"], "nominal",
+                        trace=trace)
+    modes.bind_clock(lambda: sim.now)
+    modes.allow("nominal", "limp")
+    modes.allow("limp", "nominal")
+    restarts = []
+    orch = RecoveryOrchestrator(sim, errors, modes=modes, trace=trace)
+    orch.add_policy(RecoveryPolicy(
+        "sensor", degraded_mode="limp",
+        on_restart=lambda: restarts.append(sim.now),
+        escalate_hold=ms(10), heal_hold=ms(10)))
+    confirm(errors)
+    assert orch.level_name("sensor") == "degrade"
+    sim.run_until(ms(15))  # hold elapses with the error still confirmed
+    assert orch.level_name("sensor") == "restart"
+    assert len(restarts) == 1
+    heal(errors)
+    sim.run_until(ms(27))  # one de-escalation step per heal hold
+    assert orch.level_name("sensor") == "degrade"
+    assert modes.current == "limp"
+    sim.run_until(ms(40))
+    assert orch.level_name("sensor") == "none"
+    assert modes.current == "nominal"
+
+
+def test_shared_degraded_mode_held_until_last_policy_heals():
+    sim = Simulator()
+    errors = ErrorManager("SYS", now=lambda: sim.now)
+    errors.register(ErrorEvent("a", 0x1, threshold=1))
+    errors.register(ErrorEvent("b", 0x2, threshold=1))
+    modes = ModeMachine("vehicle", ["nominal", "limp"], "nominal")
+    modes.bind_clock(lambda: sim.now)
+    modes.allow("nominal", "limp")
+    modes.allow("limp", "nominal")
+    orch = RecoveryOrchestrator(sim, errors, modes=modes)
+    orch.add_policy(RecoveryPolicy("a", degraded_mode="limp"))
+    orch.add_policy(RecoveryPolicy("b", degraded_mode="limp"))
+    errors.report("a", FAILED)
+    errors.report("b", FAILED)
+    assert modes.current == "limp"
+    errors.report("a", PASSED)
+    sim.run_until(ms(1))
+    # Policy b still holds the degraded mode.
+    assert modes.current == "limp"
+    errors.report("b", PASSED)
+    sim.run_until(ms(2))
+    assert modes.current == "nominal"
+
+
+def test_freeze_frame_refreshed_on_reconfirmation():
+    sim = Simulator()
+    errors = ErrorManager("SYS", now=lambda: sim.now)
+    errors.register(ErrorEvent("sensor", 0x1111, threshold=2))
+    errors.report("sensor", FAILED, context={"reading": 10})
+    errors.report("sensor", FAILED, context={"reading": 11})
+    frame = errors.event("sensor").freeze_frame
+    assert frame["reading"] == 11
+    first_time = frame["first_time"]
+    sim.run_until(ms(5))
+    errors.report("sensor", FAILED, context={"reading": 99})
+    frame = errors.event("sensor").freeze_frame
+    # Context and timestamp track the latest failure; the first
+    # confirmation instant is preserved.
+    assert frame["reading"] == 99
+    assert frame["time"] == ms(5)
+    assert frame["first_time"] == first_time
+
+
+def test_error_manager_snapshot():
+    errors = ErrorManager("SYS")
+    errors.register(ErrorEvent("b_event", 0x2, threshold=1))
+    errors.register(ErrorEvent("a_event", 0x1, threshold=2))
+    errors.report("b_event", FAILED, context={"x": 7})
+    snap = errors.snapshot()
+    assert list(snap) == ["a_event", "b_event"]  # sorted, deterministic
+    assert snap["b_event"]["confirmed"] is True
+    assert snap["b_event"]["occurrences"] == 1
+    assert snap["b_event"]["freeze_frame"]["x"] == 7
+    assert snap["a_event"]["confirmed"] is False
+    assert snap["a_event"]["freeze_frame"] is None
+    # The snapshot is a copy: mutating it leaves the manager untouched.
+    snap["b_event"]["freeze_frame"]["x"] = 0
+    assert errors.event("b_event").freeze_frame["x"] == 7
+
+
+def kick_every(sim, wdg, entity_name, period, until):
+    def tick():
+        wdg.kick(entity_name)
+        if sim.now + period < until:
+            sim.schedule(period, tick)
+    sim.schedule(period, tick)
+
+
+def test_watchdog_reset_clears_violation_and_resumes_supervision():
+    from repro.bsw import WatchdogManager
+    sim = Simulator()
+    trace = Trace()
+    wdg = WatchdogManager(sim, trace=trace, name="W")
+    wdg.supervise("part", window=ms(10))
+    sim.schedule(ms(1), lambda: wdg.kick("part"))
+    sim.run_until(ms(40))  # one kick, then silence: violation latches
+    assert wdg.status("part")["violated"]
+    assert wdg.reset("part") is True
+    assert not wdg.status("part")["violated"]
+    assert trace.records("wdg.reset", "part")
+    # Supervision is live again: kicks keep it healthy...
+    kick_every(sim, wdg, "part", ms(5), until=ms(80))
+    sim.run_until(ms(80))
+    assert not wdg.status("part")["violated"]
+    # ...and renewed silence latches a fresh violation.
+    sim.run_until(ms(120))
+    assert wdg.status("part")["violated"]
+
+
+def test_watchdog_reset_of_healthy_entity_is_a_noop():
+    from repro.bsw import WatchdogManager
+    sim = Simulator()
+    wdg = WatchdogManager(sim, name="W")
+    wdg.supervise("part", window=ms(10))
+    kick_every(sim, wdg, "part", ms(5), until=ms(30))
+    sim.run_until(ms(30))
+    assert wdg.reset("part") is False
+    assert not wdg.status("part")["violated"]
+
+
+def test_bind_e2e_tracks_last_good_and_reports_verdicts():
+    from repro.com import (CanComAdapter, ComStack, E2eProfile, PERIODIC,
+                           SignalSpec, e2e_protected_pdu, protect_link)
+    from repro.network import CanBus, CanFrameSpec
+    sim = Simulator()
+    trace = Trace()
+    bus = CanBus(sim, 500_000, trace=trace)
+    profile = E2eProfile(0x10, timeout=ms(25))
+    tx = ComStack(sim, CanComAdapter(
+        bus.attach("A"), {"P": CanFrameSpec("P", 0x100)}), "A",
+        trace=trace)
+    rx = ComStack(sim, CanComAdapter(bus.attach("B"), {}), "B",
+                  trace=trace)
+    pdu = lambda: e2e_protected_pdu("P", 8, [SignalSpec("speed", 16)],
+                                    profile)
+    tx.add_tx_pdu(pdu(), mode=PERIODIC, period=ms(10))
+    rx.add_rx_pdu(pdu())
+    receiver = protect_link(tx, rx, "P", profile)
+    errors = ErrorManager("SYS", trace=trace, now=lambda: sim.now)
+    errors.register(ErrorEvent("speed_e2e", 0x4A01, threshold=2))
+    orch = RecoveryOrchestrator(sim, errors, com=rx, trace=trace)
+    orch.add_policy(RecoveryPolicy("speed_e2e", signal="speed"))
+    orch.bind_e2e(receiver, "speed_e2e", signal="speed")
+    tx.write_signal("speed", 42)
+    sim.run_until(ms(35))
+    assert orch.last_good("speed") == 42
+    assert errors.event("speed_e2e").counter == 0  # OK verdicts report PASSED
+    # Drop every subsequent frame: timeout verdicts confirm the event.
+    rx.add_rx_filter(lambda name, payload: None)
+    sim.run_until(ms(120))
+    event = errors.event("speed_e2e")
+    assert event.confirmed
+    assert event.freeze_frame["verdict"] == "timeout"
+    # The orchestrator substituted the last good value.
+    assert rx.substituted_signals() == ["speed"]
+    assert rx.read_signal("speed") == 42
