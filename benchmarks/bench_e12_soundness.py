@@ -1,0 +1,91 @@
+"""E12 — Differential soundness of the analytic bounds.
+
+Claim (paper, Section 3): the integration of analysable components
+rests on the timing analyses being *sound* — for any admissible system,
+observed response times and latencies never exceed the analytic bounds.
+The differential harness makes that claim testable at scale: seeded
+random systems (task sets, CAN layouts, FlexRay traffic, TDMA
+partitions, one E2E-protected chain) are run through both the analysis
+layer and the simulation stack, and every bound is compared against the
+worst observation.
+
+Setup: 25 generated "small" systems from seed 7 (the CI acceptance
+batch).  Per analysis layer we report the number of bound/observation
+pairs, how many bounds an analysis declined to produce (recurrence
+outside its validity region — reported, never silently dropped), the
+violation count, and the tightness distribution (bound / observed max;
+1.0 means the simulation reached the bound exactly).
+
+Expected shape: zero soundness violations and zero trace-invariant
+violations across every layer; tightness medians stay low single-digit
+for the contended layers (CPU, CAN, e2e chain) and larger for the
+load-independent time-triggered bounds, whose worst case assumes the
+maximal phase between producer and slot.
+"""
+
+from _tables import print_table
+
+from repro.verify import verify_many
+
+SEED = 7
+SYSTEMS = 25
+SIZE = "small"
+
+
+def run() -> list[dict]:
+    report = verify_many(SEED, SYSTEMS, SIZE)
+    rows = []
+    for layer, row in report.layer_summary().items():
+        rows.append({
+            "layer": layer,
+            "checks": row["checks"],
+            "measured": row["measured"],
+            "declined": row["declined"],
+            "violations": row["violations"],
+            "tightness_min": (None if row["tightness_min"] is None
+                              else round(row["tightness_min"], 2)),
+            "tightness_median": (None if row["tightness_median"] is None
+                                 else round(row["tightness_median"], 2)),
+            "tightness_max": (None if row["tightness_max"] is None
+                              else round(row["tightness_max"], 2)),
+        })
+    rows.append({
+        "layer": "invariants",
+        "checks": len(report.verdicts),
+        "measured": len(report.verdicts),
+        "declined": 0,
+        "violations": report.invariant_violations,
+        "tightness_min": None,
+        "tightness_median": None,
+        "tightness_max": None,
+    })
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    # The acceptance gate: no layer may show a single violation.
+    assert sum(r["violations"] for r in rows) == 0
+    for row in rows:
+        if row["layer"] == "invariants":
+            continue
+        # Every layer produced bounds and actual measurements.
+        assert row["checks"] > 0
+        assert row["measured"] > 0
+        # Sound bounds mean tightness >= 1 wherever measured.
+        assert row["tightness_min"] is None or row["tightness_min"] >= 1.0
+
+
+TITLE = (f"E12: differential soundness over {SYSTEMS} random systems "
+         f"(seed {SEED}, size {SIZE})")
+
+
+def bench_e12_soundness(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    check(rows)
+    print_table(TITLE, rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check(rows)
+    print_table(TITLE, rows)

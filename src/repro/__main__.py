@@ -1,4 +1,5 @@
-"""Command-line entry point: ``python -m repro {info,selftest,campaign}``.
+"""Command-line entry point: ``python -m repro
+{info,selftest,campaign,verify}``.
 
 ``info`` prints the package inventory; ``selftest`` runs a miniature
 end-to-end scenario (component app -> RTE deployment over CAN -> timing
@@ -131,6 +132,28 @@ def campaign(args: list[str]) -> int:
     return 0 if healthy else 1
 
 
+def verify(args: list[str]) -> int:
+    """Run the differential verification harness (the `verify`
+    subcommand): generate seeded random systems, compare every analytic
+    bound against the simulated observation, and replay the traces
+    through the trace invariants.  Exits non-zero on any soundness or
+    invariant violation."""
+    import argparse
+
+    from repro.verify import SIZES, format_report, verify_many
+
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description="differential analysis-vs-simulation verification")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--systems", type=int, default=25)
+    parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    options = parser.parse_args(args)
+    report = verify_many(options.seed, options.systems, options.size)
+    print(format_report(report))
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str]) -> int:
     """CLI dispatch; returns the process exit code."""
     command = argv[1] if len(argv) > 1 else "info"
@@ -140,8 +163,10 @@ def main(argv: list[str]) -> int:
         return selftest()
     if command == "campaign":
         return campaign(argv[2:])
+    if command == "verify":
+        return verify(argv[2:])
     print(f"unknown command {command!r}; "
-          f"use 'info', 'selftest' or 'campaign'")
+          f"use 'info', 'selftest', 'campaign' or 'verify'")
     return 2
 
 

@@ -228,19 +228,22 @@ class E2eReceiver:
         # A CRC-valid frame always resynchronises the sequence.
         self._last_counter = rx_counter
         if delta == 0:
-            return self._classify(E2E_REPEATED)
+            return self._classify(E2E_REPEATED, counter=rx_counter)
         if delta > self.profile.max_delta_counter:
-            return self._classify(E2E_WRONG_SEQUENCE)
+            return self._classify(E2E_WRONG_SEQUENCE, counter=rx_counter)
         self.last_ok_time = self.sim.now
         if self.profile.timeout is not None:
             self._arm_timeout()
-        return self._classify(E2E_OK)
+        return self._classify(E2E_OK, counter=rx_counter)
 
-    def _classify(self, verdict: str) -> str:
+    def _classify(self, verdict: str, **extra) -> str:
+        """Record one verdict.  ``extra`` data (e.g. the received alive
+        counter for CRC-valid frames) rides on the trace record so
+        trace-level invariants can re-check the classification."""
         self.state = verdict
         self.counts[verdict] += 1
         self.trace.log(self.sim.now, f"e2e.{verdict}", self.ipdu.name,
-                       node=self.node)
+                       node=self.node, **extra)
         for listener in self._listeners:
             listener(verdict)
         return verdict

@@ -269,9 +269,12 @@ class CanBus:
             predicate=lambda r: r.data.get("bus") == self.name)
 
     def latencies(self, frame_name: str) -> list[int]:
-        """Observed enqueue-to-reception latencies for a frame."""
+        """Observed enqueue-to-reception latencies for a frame.
+
+        Records without a ``latency`` key are skipped."""
         return [r.data["latency"]
-                for r in self.records("can.rx", frame_name)]
+                for r in self.records("can.rx", frame_name)
+                if "latency" in r.data]
 
     def utilization(self, horizon: Optional[int] = None) -> float:
         """Fraction of wire time occupied by completed frames (error frames

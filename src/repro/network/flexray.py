@@ -310,10 +310,12 @@ class FlexRayBus:
 
     # ------------------------------------------------------------------
     def latencies(self, frame_name: str) -> list[int]:
-        """Observed latencies of a frame (static and dynamic)."""
+        """Observed latencies of a frame (static and dynamic).
+
+        Records without a ``latency`` key are skipped."""
         recs = (self.trace.records("flexray.rx", frame_name)
                 + self.trace.records("flexray.rx_dynamic", frame_name))
-        return [r.data["latency"] for r in recs]
+        return [r.data["latency"] for r in recs if "latency" in r.data]
 
     def __repr__(self) -> str:
         return f"<FlexRayBus {self.name} cycle={self.cycle}>"

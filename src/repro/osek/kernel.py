@@ -365,9 +365,12 @@ class EcuKernel:
     # Introspection
     # ------------------------------------------------------------------
     def response_times(self, task_name: str) -> list[int]:
-        """Observed response times of completed jobs of ``task_name``."""
-        return [r.data["response"]
-                for r in self.trace.records("task.complete", task_name)]
+        """Observed response times of completed jobs of ``task_name``.
+
+        Records without a ``response`` key (foreign instrumentation
+        sharing the trace) are skipped."""
+        return self.trace.data_values("task.complete", "response",
+                                      task_name)
 
     def deadline_misses(self, task_name: Optional[str] = None) -> int:
         """Count of deadline-miss records (optionally for one task)."""

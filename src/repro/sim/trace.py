@@ -27,6 +27,10 @@ class Record:
     subject: str
     data: dict = field(default_factory=dict)
 
+    def get(self, key: str, default=None):
+        """Tolerant access to an optional ``data`` key (never raises)."""
+        return self.data.get(key, default)
+
 
 class Trace:
     """Append-only record store with simple query helpers."""
@@ -69,6 +73,17 @@ class Trace:
     def times(self, category: str, subject: Optional[str] = None) -> list[int]:
         """Timestamps of matching records."""
         return [r.time for r in self.records(category, subject)]
+
+    def data_values(self, category: str, key: str,
+                    subject: Optional[str] = None) -> list:
+        """Values of a ``data`` key over matching records.
+
+        Records lacking the key are skipped rather than raising — a
+        partially-instrumented subsystem yields fewer measurements, not
+        a crash.
+        """
+        return [r.data[key] for r in self.records(category, subject)
+                if key in r.data]
 
     # ------------------------------------------------------------------
     # Derived timing metrics

@@ -1,0 +1,31 @@
+"""Differential verification harness.
+
+Random valid systems (:mod:`repro.verify.generator`) are run through
+both the analytic bounds and the simulation stack
+(:mod:`repro.verify.oracle`); trace-level safety properties are checked
+by :mod:`repro.verify.invariants`.  Entry point: ``repro verify``.
+"""
+
+from repro.verify.generator import (SIZES, GeneratedSystem, generate,
+                                    generate_many)
+from repro.verify.invariants import (AliveCounterInvariant,
+                                     E2eContainmentInvariant, Invariant,
+                                     InvariantChecker,
+                                     NoOverlappingExecution,
+                                     PriorityCeilingInvariant,
+                                     TdmaWindowInvariant, Violation)
+from repro.verify.oracle import (Check, SystemVerdict, VerificationReport,
+                                 analyze_bounds, build_system,
+                                 format_report, make_invariants,
+                                 verify_many, verify_system)
+
+__all__ = [
+    "SIZES", "GeneratedSystem", "generate", "generate_many",
+    "Invariant", "InvariantChecker", "Violation",
+    "NoOverlappingExecution", "TdmaWindowInvariant",
+    "PriorityCeilingInvariant", "AliveCounterInvariant",
+    "E2eContainmentInvariant",
+    "Check", "SystemVerdict", "VerificationReport",
+    "analyze_bounds", "build_system", "make_invariants",
+    "verify_system", "verify_many", "format_report",
+]

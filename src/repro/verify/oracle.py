@@ -1,0 +1,498 @@
+"""Differential oracle: analytic bounds versus simulated ground truth.
+
+For each :class:`~repro.verify.generator.GeneratedSystem` the oracle
+
+1. computes every analytic bound the library offers for it — task WCRTs
+   (:mod:`repro.analysis.rta`), CAN frame latencies
+   (:mod:`repro.analysis.can_rta`), FlexRay static/dynamic latencies
+   (:mod:`repro.analysis.flexray_rta`), TDMA partition response bounds
+   (:mod:`repro.analysis.tdma_bound`) and the end-to-end chain bound
+   (:mod:`repro.analysis.e2e`);
+2. builds and runs the *same* configuration on the simulation stack
+   (OSEK kernels, CAN/FlexRay buses, COM with E2E protection);
+3. asserts **soundness** — every observation must stay at or below its
+   bound — and reports **tightness** (bound / observed max);
+4. replays the trace through the invariant checkers of
+   :mod:`repro.verify.invariants`.
+
+Analyses that legitimately decline (the recurrence leaves its validity
+region) are reported as *declined*, never silently skipped; a bound that
+exists but is beaten by the simulation is a soundness violation — the
+one thing this harness exists to catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis import can_rta, flexray_rta, rta, tdma_bound
+from repro.analysis.e2e import Chain, SAMPLED, Stage
+from repro.analysis.probes import ChainProbe
+from repro.com.com import CanComAdapter, ComStack, PERIODIC
+from repro.com.e2e import E2eReceiver, e2e_protected_pdu, protect_link
+from repro.com.signal import SignalSpec
+from repro.errors import AnalysisError
+from repro.network.can import CanBus
+from repro.network.flexray import FlexRayBus
+from repro.osek.kernel import EcuKernel
+from repro.osek.resource import OsekResource
+from repro.osek.scheduler import FixedPriorityScheduler
+from repro.osek.task import Acquire, Execute, Release
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+from repro.verify.generator import (CriticalSection, GeneratedSystem,
+                                    generate_many)
+from repro.verify.invariants import (AliveCounterInvariant,
+                                     E2eContainmentInvariant, Invariant,
+                                     InvariantChecker,
+                                     NoOverlappingExecution,
+                                     PriorityCeilingInvariant,
+                                     TdmaWindowInvariant, Violation)
+
+#: Analysis layers in report order.
+LAYERS = ("rta", "can", "flexray_static", "flexray_dynamic", "tdma", "e2e")
+
+
+@dataclass
+class Check:
+    """One bound/observation pair."""
+
+    layer: str
+    subject: str
+    bound: int
+    observed: Optional[int]
+    samples: int
+
+    @property
+    def sound(self) -> bool:
+        """True when the observation respects the bound (vacuously true
+        when nothing was observed)."""
+        return self.observed is None or self.observed <= self.bound
+
+    @property
+    def tightness(self) -> Optional[float]:
+        """bound / observed-max — how conservative the analysis is."""
+        if not self.observed:
+            return None
+        return self.bound / self.observed
+
+    def to_dict(self) -> dict:
+        tightness = self.tightness
+        return {"layer": self.layer, "subject": self.subject,
+                "bound": self.bound, "observed": self.observed,
+                "samples": self.samples, "sound": self.sound,
+                "tightness": (None if tightness is None
+                              else round(tightness, 4))}
+
+
+@dataclass
+class SystemVerdict:
+    """Oracle result for one generated system."""
+
+    name: str
+    seed: int
+    size: str
+    checks: list[Check] = field(default_factory=list)
+    declined: list[str] = field(default_factory=list)
+    invariant_violations: list[Violation] = field(default_factory=list)
+    records: int = 0
+
+    @property
+    def soundness_violations(self) -> list[Check]:
+        """Checks whose observation beats the analytic bound."""
+        return [c for c in self.checks if not c.sound]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "seed": self.seed, "size": self.size,
+            "records": self.records,
+            "declined": sorted(self.declined),
+            "checks": [c.to_dict() for c in self.checks],
+            "invariant_violations": [v.to_dict()
+                                     for v in self.invariant_violations],
+        }
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate over a batch of verified systems."""
+
+    seed: int
+    count: int
+    size: str
+    verdicts: list[SystemVerdict] = field(default_factory=list)
+
+    @property
+    def soundness_violations(self) -> int:
+        return sum(len(v.soundness_violations) for v in self.verdicts)
+
+    @property
+    def invariant_violations(self) -> int:
+        return sum(len(v.invariant_violations) for v in self.verdicts)
+
+    @property
+    def passed(self) -> bool:
+        """Zero soundness violations and zero invariant violations."""
+        return (self.soundness_violations == 0
+                and self.invariant_violations == 0)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "systems": self.count, "size": self.size,
+                "verdicts": [v.to_dict() for v in self.verdicts]}
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form — two runs of the same
+        (seed, count, size) must produce the identical digest."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def layer_summary(self) -> dict[str, dict]:
+        """Per-layer aggregate: check/measurement/violation counts and
+        the tightness distribution (min/median/max)."""
+        summary = {}
+        declined = [d.split(":", 1)[0] for v in self.verdicts
+                    for d in v.declined]
+        for layer in LAYERS:
+            checks = [c for v in self.verdicts for c in v.checks
+                      if c.layer == layer]
+            ratios = sorted(c.tightness for c in checks
+                            if c.tightness is not None)
+            summary[layer] = {
+                "checks": len(checks),
+                "measured": sum(1 for c in checks if c.observed is not None),
+                "declined": declined.count(layer),
+                "violations": sum(1 for c in checks if not c.sound),
+                "tightness_min": ratios[0] if ratios else None,
+                "tightness_median": (statistics.median(ratios)
+                                     if ratios else None),
+                "tightness_max": ratios[-1] if ratios else None,
+            }
+        return summary
+
+
+# ----------------------------------------------------------------------
+# Analytic side
+# ----------------------------------------------------------------------
+def analyze_bounds(system: GeneratedSystem
+                   ) -> tuple[list[tuple[str, str, int]], list[str]]:
+    """Every analytic bound for ``system`` as ``(layer, subject, bound)``
+    rows, plus the ``layer:subject`` entries where analysis declined."""
+    bounds: list[tuple[str, str, int]] = []
+    declined: list[str] = []
+    chain = system.chain
+
+    cs_map: dict[str, list[tuple[int, int]]] = {}
+    for section in system.critical_sections:
+        cs_map.setdefault(section.task, []).append(
+            (system.resources[section.resource], section.duration))
+
+    # Task WCRTs.  ``wcrt - jitter`` is the from-release bound, which is
+    # what the kernel's activation-to-completion measurement observes
+    # (release jitter of the sporadic consumer is realised by the bus,
+    # not re-applied by the kernel).
+    task_bound: dict[str, int] = {}
+    for ecu in system.fp_ecus:
+        specs = system.tasksets[ecu]
+        result = rta.analyze(specs, cs_map)
+        for spec in specs:
+            wcrt = result.wcrt[spec.name]
+            if wcrt < 0:
+                declined.append(f"rta:{spec.name}")
+                continue
+            task_bound[spec.name] = wcrt - spec.jitter
+            bounds.append(("rta", spec.name, wcrt - spec.jitter))
+
+    frames = sorted(system.can.frame_specs, key=lambda f: f.can_id)
+    can_result = can_rta.analyze(frames, system.can.bitrate_bps)
+    for frame in frames:
+        wcrt = can_result.wcrt[frame.name]
+        if wcrt < 0:
+            declined.append(f"can:{frame.name}")
+            continue
+        bounds.append(("can", frame.name, wcrt))
+
+    config = system.flexray.config
+    for writer in system.flexray.static_writers:
+        bounds.append(("flexray_static", writer.assignment.frame_name,
+                       flexray_rta.static_latency_bound(config,
+                                                        writer.assignment)))
+    dyn_specs = [w.spec for w in system.flexray.dynamic_writers]
+    for writer in system.flexray.dynamic_writers:
+        competitors = [s for s in dyn_specs if s.name != writer.spec.name]
+        try:
+            bound = flexray_rta.dynamic_latency_bound(writer.spec,
+                                                      competitors, config)
+        except AnalysisError:
+            declined.append(f"flexray_dynamic:{writer.spec.name}")
+            continue
+        bounds.append(("flexray_dynamic", writer.spec.name, bound))
+
+    scheduler = system.tdma.scheduler()
+    for partition in system.tdma.partitions:
+        hp = system.tdma.hp_task(partition)
+        try:
+            bound = tdma_bound.tdma_response_bound(scheduler, partition,
+                                                   hp.wcet)
+        except AnalysisError:
+            declined.append(f"tdma:{hp.name}")
+            continue
+        bounds.append(("tdma", hp.name, bound))
+
+    producer = task_bound.get(chain.producer)
+    consumer = task_bound.get(chain.consumer)
+    frame_wcrt = can_result.wcrt.get(chain.pdu_name, -1)
+    if producer is None or consumer is None or frame_wcrt < 0:
+        declined.append(f"e2e:{chain.pdu_name}")
+    else:
+        model = Chain(chain.pdu_name, [
+            Stage("producer", producer),
+            Stage("frame", frame_wcrt, SAMPLED, period=chain.period),
+            Stage("consumer", consumer),
+        ])
+        bounds.append(("e2e", chain.pdu_name, model.worst_case_latency()))
+    return bounds, declined
+
+
+# ----------------------------------------------------------------------
+# Simulated side
+# ----------------------------------------------------------------------
+@dataclass
+class BuiltSystem:
+    """Live simulation handles for one generated system."""
+
+    sim: Simulator
+    trace: Trace
+    kernels: dict[str, EcuKernel]
+    can_bus: CanBus
+    flexray_bus: FlexRayBus
+    probe: ChainProbe
+    receiver: E2eReceiver
+    horizon: int
+
+
+def _cs_body(section: CriticalSection, resource: OsekResource):
+    """Body factory: pre / critical section under ICPP / post."""
+    def body(job):
+        if section.pre:
+            yield Execute(section.pre)
+        yield Acquire(resource)
+        yield Execute(section.duration)
+        yield Release(resource)
+        if section.post:
+            yield Execute(section.post)
+    return body
+
+
+def default_horizon(system: GeneratedSystem) -> int:
+    """Four times the longest period anywhere in the system."""
+    periods = [t.period for t in system.all_task_specs()]
+    periods += [f.period for f in system.can.frame_specs]
+    periods += [w.period for w in system.flexray.static_writers]
+    periods += [w.period for w in system.flexray.dynamic_writers]
+    return 4 * max(periods)
+
+
+def build_system(system: GeneratedSystem) -> BuiltSystem:
+    """Instantiate the generated configuration on the simulation stack."""
+    sim = Simulator()
+    trace = Trace()
+    chain = system.chain
+    profile = chain.profile()
+
+    # -- CAN bus + per-ECU COM stacks ----------------------------------
+    can_bus = CanBus(sim, system.can.bitrate_bps, trace)
+    stacks: dict[str, ComStack] = {}
+    for ecu in system.fp_ecus:
+        controller = can_bus.attach(ecu)
+        frame_map = {f.name: f for f in system.can.frame_specs}
+        adapter = CanComAdapter(controller, frame_map)
+        stacks[ecu] = ComStack(sim, adapter, ecu, trace)
+    rx_controller = can_bus.attach("RX")
+    rx_stack = ComStack(sim, CanComAdapter(rx_controller, {}), "RX", trace)
+
+    for frame in system.can.frames:
+        stacks[frame.sender].add_tx_pdu(frame.ipdu, PERIODIC, frame.period)
+
+    def chain_pdu():
+        return e2e_protected_pdu(
+            chain.pdu_name, 8,
+            [SignalSpec(chain.signal_name, chain.signal_bits)], profile)
+
+    tx_stack = stacks[chain.producer_ecu]
+    tx_stack.add_tx_pdu(chain_pdu(), PERIODIC, chain.period)
+    rx_stack.add_rx_pdu(chain_pdu())
+    receiver = protect_link(tx_stack, rx_stack, chain.pdu_name, profile)
+
+    # -- fixed-priority ECU kernels ------------------------------------
+    resources = {name: OsekResource(name, ceiling)
+                 for name, ceiling in system.resources.items()}
+    sections = {s.task: s for s in system.critical_sections}
+    probe = ChainProbe(chain.pdu_name)
+    produced = itertools.count(1)
+
+    def on_producer_complete(job):
+        seq = next(produced) % 65536
+        probe.stamp(seq, job.activation_time)
+        tx_stack.write_signal(chain.signal_name, seq)
+
+    def on_consumer_complete(job):
+        probe.observe(rx_stack.read_signal(chain.signal_name),
+                      job.completed_at)
+
+    kernels: dict[str, EcuKernel] = {}
+    consumer_task = None
+    for ecu in system.fp_ecus:
+        kernel = EcuKernel(sim, FixedPriorityScheduler(), trace, name=ecu)
+        kernels[ecu] = kernel
+        for spec in system.tasksets[ecu]:
+            if spec.name == chain.consumer:
+                consumer_task = kernel.add_task(
+                    spec, on_complete=on_consumer_complete,
+                    auto_start=False)
+            elif spec.name == chain.producer:
+                kernel.add_task(spec, on_complete=on_producer_complete)
+            elif spec.name in sections:
+                section = sections[spec.name]
+                kernel.add_task(spec, body=_cs_body(
+                    section, resources[section.resource]))
+            else:
+                kernel.add_task(spec)
+
+    consumer_kernel = kernels[chain.consumer_ecu]
+    rx_stack.on_signal(chain.signal_name,
+                       lambda __: consumer_kernel.activate(consumer_task))
+
+    # -- TDMA ECU ------------------------------------------------------
+    tdma_kernel = EcuKernel(sim, system.tdma.scheduler(), trace,
+                            name=system.tdma.ecu)
+    kernels[system.tdma.ecu] = tdma_kernel
+    for spec in system.tdma.tasks:
+        tdma_kernel.add_task(spec)
+
+    # -- FlexRay cluster -----------------------------------------------
+    flexray_bus = FlexRayBus(sim, system.flexray.config, trace)
+    controllers = {node: flexray_bus.attach(node)
+                   for node in system.flexray.nodes}
+    for writer in system.flexray.static_writers:
+        flexray_bus.assign_slot(writer.assignment)
+    flexray_bus.start()
+
+    def start_static(writer):
+        controller = controllers[writer.assignment.node]
+        payloads = itertools.count(1)
+
+        def fire():
+            controller.send_static(writer.assignment.slot, next(payloads))
+            sim.schedule(writer.period, fire)
+
+        sim.schedule_at(writer.offset, fire)
+
+    def start_dynamic(writer):
+        controller = controllers[writer.node]
+        payloads = itertools.count(1)
+
+        def fire():
+            controller.queue_dynamic(writer.spec, next(payloads))
+            sim.schedule(writer.period, fire)
+
+        sim.schedule_at(writer.offset, fire)
+
+    for writer in system.flexray.static_writers:
+        start_static(writer)
+    for writer in system.flexray.dynamic_writers:
+        start_dynamic(writer)
+
+    return BuiltSystem(sim, trace, kernels, can_bus, flexray_bus, probe,
+                       receiver, default_horizon(system))
+
+
+# ----------------------------------------------------------------------
+# Differential verification
+# ----------------------------------------------------------------------
+def make_invariants(system: GeneratedSystem) -> list[Invariant]:
+    """The invariant set matching one generated system."""
+    task_ecu = {t.name: ecu for ecu in system.fp_ecus
+                for t in system.tasksets[ecu]}
+    task_ecu.update({t.name: system.tdma.ecu for t in system.tdma.tasks})
+    priorities = {t.name: t.priority for t in system.all_task_specs()}
+    scheduler = system.tdma.scheduler()
+    windows = [(w.start, w.length, w.partition) for w in scheduler.windows]
+    partition_of = {t.name: t.partition for t in system.tdma.tasks}
+    chain = system.chain
+    return [
+        NoOverlappingExecution(task_ecu),
+        TdmaWindowInvariant(windows, system.tdma.major_frame, partition_of),
+        PriorityCeilingInvariant(priorities, system.resources, task_ecu),
+        AliveCounterInvariant(chain.pdu_name, 1 << chain.counter_bits,
+                              chain.max_delta_counter),
+        E2eContainmentInvariant(),
+    ]
+
+
+def _observations(built: BuiltSystem, layer: str, subject: str) -> list[int]:
+    """Simulated measurements matching one analytic bound."""
+    if layer in ("rta", "tdma"):
+        return built.trace.data_values("task.complete", "response", subject)
+    if layer == "can":
+        return built.can_bus.latencies(subject)
+    if layer in ("flexray_static", "flexray_dynamic"):
+        return built.flexray_bus.latencies(subject)
+    if layer == "e2e":
+        return list(built.probe.latencies)
+    raise AnalysisError(f"unknown layer {layer!r}")
+
+
+def verify_system(system: GeneratedSystem,
+                  horizon: Optional[int] = None) -> SystemVerdict:
+    """Run the full differential check for one generated system."""
+    bounds, declined = analyze_bounds(system)
+    built = build_system(system)
+    built.sim.run_until(horizon if horizon is not None else built.horizon)
+    checks = []
+    for layer, subject, bound in bounds:
+        values = _observations(built, layer, subject)
+        checks.append(Check(layer, subject, bound,
+                            max(values) if values else None, len(values)))
+    violations = InvariantChecker(make_invariants(system)).run(built.trace)
+    return SystemVerdict(system.name, system.seed, system.size, checks,
+                         declined, violations, len(built.trace))
+
+
+def verify_many(seed: int, count: int, size: str = "small",
+                horizon: Optional[int] = None) -> VerificationReport:
+    """Generate and differentially verify ``count`` systems."""
+    report = VerificationReport(seed, count, size)
+    for system in generate_many(seed, count, size):
+        report.verdicts.append(verify_system(system, horizon))
+    return report
+
+
+def format_report(report: VerificationReport) -> str:
+    """Deterministic human-readable summary of a verification batch."""
+    lines = [f"differential verification: seed={report.seed} "
+             f"systems={report.count} size={report.size}"]
+    header = (f"  {'layer':<16} {'checks':>6} {'measured':>8} "
+              f"{'declined':>8} {'violations':>10} {'tightness':>22}")
+    lines.append(header)
+    for layer, row in report.layer_summary().items():
+        if row["tightness_min"] is None:
+            spread = "-"
+        else:
+            spread = (f"{row['tightness_min']:.2f}/"
+                      f"{row['tightness_median']:.2f}/"
+                      f"{row['tightness_max']:.2f}")
+        lines.append(f"  {layer:<16} {row['checks']:>6} "
+                     f"{row['measured']:>8} {row['declined']:>8} "
+                     f"{row['violations']:>10} {spread:>22}")
+    lines.append(f"invariant violations: {report.invariant_violations}")
+    lines.append(f"report digest: sha256:{report.digest()}")
+    lines.append(f"verdict: {'PASS' if report.passed else 'FAIL'} "
+                 f"({report.soundness_violations} soundness, "
+                 f"{report.invariant_violations} invariant violation(s))")
+    return "\n".join(lines)

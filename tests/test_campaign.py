@@ -144,3 +144,16 @@ def test_cli_campaign_smoke(capsys):
     out = capsys.readouterr().out
     assert "verdict: PASS" in out
     assert "undetected corrupted deliveries: 0" in out
+
+
+def test_identical_scenario_yields_byte_identical_report():
+    # Determinism gate: the same cells against fresh worlds must produce
+    # a byte-identical robustness report, down to every latency sample.
+    import json
+
+    first = run_reference(reference_cells()[:2])
+    second = run_reference(reference_cells()[:2])
+    assert json.dumps(first.to_dicts(), sort_keys=True) == \
+        json.dumps(second.to_dicts(), sort_keys=True)
+    assert format_robustness(robustness_report(first)) == \
+        format_robustness(robustness_report(second))

@@ -89,3 +89,52 @@ def test_every_signal_packed_exactly_once(widths):
     for frame in frames:
         used = sum(m.spec.width_bits for m in frame.ipdu.mappings)
         assert used <= 64
+
+
+# ----------------------------------------------------------------------
+# Seeded round-trip properties
+# ----------------------------------------------------------------------
+@given(st.data())
+def test_pack_unpack_roundtrip_identity(data):
+    widths = data.draw(st.lists(st.integers(min_value=1, max_value=16),
+                                min_size=1, max_size=8))
+    signals = [sig(f"s{i}", w, ms(10)) for i, w in enumerate(widths)]
+    values = {s.spec.name: data.draw(
+        st.integers(min_value=0, max_value=s.spec.max_value))
+        for s in signals}
+    for frame in pack_signals(signals):
+        decoded = frame.ipdu.unpack(frame.ipdu.pack(values))
+        for name in frame.ipdu.signal_names():
+            assert decoded[name]["value"] == values[name]
+
+
+def test_packed_payload_is_little_endian_lsb_first():
+    frames = pack_signals([sig("a", 16, ms(10))])
+    ipdu = frames[0].ipdu
+    mapping = ipdu.mapping_of("a")
+    payload = ipdu.pack({"a": 0x1234})
+    # The value sits at its start bit, LSB first within the payload int.
+    assert (payload >> mapping.start_bit) & 0xFFFF == 0x1234
+    low = ipdu.size_bytes * 8
+    as_bytes = payload.to_bytes(ipdu.size_bytes, "little")
+    assert as_bytes[mapping.start_bit // 8] == 0x34
+    assert as_bytes[mapping.start_bit // 8 + 1] == 0x12
+
+
+@given(st.integers(min_value=1, max_value=7),
+       st.integers(min_value=9, max_value=16),
+       st.data())
+def test_byte_boundary_crossing_signal_roundtrips(offset, width, data):
+    # A signal starting mid-byte and wider than the remaining byte
+    # always straddles a byte boundary; packing must still be lossless.
+    from repro.com import IPdu, SignalMapping
+
+    assert offset + width > 8
+    pad = SignalSpec("pad", offset)
+    crossing = SignalSpec("x", width)
+    ipdu = IPdu("B", 4, [SignalMapping(pad, 0),
+                         SignalMapping(crossing, offset)])
+    value = data.draw(st.integers(min_value=0,
+                                  max_value=crossing.max_value))
+    decoded = ipdu.unpack(ipdu.pack({"pad": 0, "x": value}))
+    assert decoded["x"]["value"] == value

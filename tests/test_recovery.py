@@ -260,3 +260,49 @@ def test_bind_e2e_tracks_last_good_and_reports_verdicts():
     # The orchestrator substituted the last good value.
     assert rx.substituted_signals() == ["speed"]
     assert rx.read_signal("speed") == 42
+
+
+# ----------------------------------------------------------------------
+# Hysteresis edge cases
+# ----------------------------------------------------------------------
+def test_reconfirmation_during_hold_restarts_the_escalation_clock():
+    # Relapse while an escalation to the next level is pending: the
+    # escalation clock must restart from the re-confirmation, not keep
+    # running from the first confirmation.
+    restarts = []
+    sim, trace, errors, modes, orch = make_world(
+        on_restart=lambda: restarts.append(1),
+        escalate_hold=ms(50), heal_hold=ms(20))
+    confirm(errors)                       # t=0: level 1 (degrade)
+    assert orch.level("sensor") == 1
+    heal(errors)                          # heal cancels the pending step
+    sim.run_until(ms(10))
+    confirm(errors)                       # t=10 ms: relapse at level 1
+    # The original escalation deadline (t=50 ms) must NOT fire...
+    sim.run_until(ms(55))
+    assert orch.level("sensor") == 1
+    assert restarts == []
+    # ...but the restarted clock (t=10+50 ms) must.
+    sim.run_until(ms(65))
+    assert orch.level("sensor") == 2
+    assert orch.level_name("sensor") == "restart"
+    assert restarts
+
+
+def test_fresh_confirmation_cancels_a_pending_deescalation():
+    # A fresh DTC confirmation arriving inside the heal-hold window must
+    # win the race: the already-armed de-escalation may not fire.
+    sim, trace, errors, modes, orch = make_world(heal_hold=ms(20))
+    confirm(errors)                       # t=0: degrade
+    heal(errors)                          # de-escalation armed for t=20 ms
+    sim.run_until(ms(10))
+    confirm(errors)                       # t=10 ms: fresh confirmation
+    sim.run_until(ms(40))                 # well past the stale deadline
+    assert orch.level("sensor") == 1
+    assert modes.current == "limp"
+    assert not trace.records("recovery.deescalate", "sensor")
+    # Only a heal that *stays* healed for the full hold de-escalates.
+    heal(errors)                          # t=40 ms
+    sim.run_until(ms(70))
+    assert orch.level("sensor") == 0
+    assert modes.current == "nominal"

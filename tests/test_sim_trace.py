@@ -104,3 +104,24 @@ def test_precision_bound_covers_pairwise_drift():
 
 def test_precision_empty_is_zero():
     assert precision([], 1000) == 0
+
+
+def test_record_get_tolerates_missing_data_keys():
+    tr = Trace()
+    tr.log(1, "task.complete", "T", response=7)
+    tr.log(2, "task.complete", "T")  # partially instrumented record
+    full, bare = tr.records("task.complete")
+    assert full.get("response") == 7
+    assert bare.get("response") is None
+    assert bare.get("response", -1) == -1
+
+
+def test_data_values_skips_records_without_the_key():
+    tr = Trace()
+    tr.log(1, "task.complete", "T", response=7)
+    tr.log(2, "task.complete", "T")
+    tr.log(3, "task.complete", "T", response=9)
+    tr.log(4, "task.complete", "U", response=99)
+    assert tr.data_values("task.complete", "response", "T") == [7, 9]
+    assert tr.data_values("task.complete", "response") == [7, 9, 99]
+    assert tr.data_values("task.complete", "missing") == []

@@ -1,0 +1,125 @@
+"""Tests for the seeded random system generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.can import frame_time
+from repro.verify import SIZES, generate, generate_many
+from repro.verify.generator import CHAIN_CAN_ID, MAX_BUS_UTILIZATION
+
+
+def fingerprint(system):
+    """Structural fingerprint: every generated parameter as primitives."""
+    return {
+        "name": system.name,
+        "tasks": {ecu: [(t.name, t.wcet, t.period, t.priority, t.jitter)
+                        for t in system.tasksets[ecu]]
+                  for ecu in system.fp_ecus},
+        "resources": sorted(system.resources.items()),
+        "sections": [(s.task, s.resource, s.pre, s.duration, s.post)
+                     for s in system.critical_sections],
+        "chain": (system.chain.producer, system.chain.consumer,
+                  system.chain.period, system.chain.data_id),
+        "can": [(f.name, f.can_id, f.dlc, f.period)
+                for f in system.can.frame_specs],
+        "flexray": [(w.assignment.frame_name, w.assignment.slot,
+                     w.period, w.offset)
+                    for w in system.flexray.static_writers]
+        + [(w.spec.name, w.spec.size_bytes, w.period, w.offset)
+           for w in system.flexray.dynamic_writers],
+        "tdma": [(t.name, t.wcet, t.period, t.priority, t.partition)
+                 for t in system.tdma.tasks],
+    }
+
+
+def test_same_seed_same_system():
+    assert fingerprint(generate(42)) == fingerprint(generate(42))
+
+
+def test_different_seeds_differ():
+    assert fingerprint(generate(1)) != fingerprint(generate(2))
+
+
+def test_generate_many_is_deterministic_with_distinct_seeds():
+    batch = generate_many(7, 5)
+    again = generate_many(7, 5)
+    assert len(batch) == 5
+    assert len({s.seed for s in batch}) == 5
+    assert [fingerprint(s) for s in batch] == \
+        [fingerprint(s) for s in again]
+
+
+def test_priorities_unique_per_ecu():
+    system = generate(11)
+    for ecu in system.fp_ecus:
+        priorities = [t.priority for t in system.tasksets[ecu]]
+        assert len(priorities) == len(set(priorities))
+
+
+def test_priorities_are_rate_monotonic():
+    system = generate(11)
+    consumer = system.chain.consumer
+    for ecu in system.fp_ecus:
+        tasks = [t for t in system.tasksets[ecu] if t.name != consumer]
+        ordered = sorted(tasks, key=lambda t: t.priority, reverse=True)
+        periods = [t.period for t in ordered]
+        assert periods == sorted(periods)
+
+
+def test_consumer_is_top_priority_with_release_jitter():
+    system = generate(13)
+    chain = system.chain
+    tasks = system.tasksets[chain.consumer_ecu]
+    consumer = next(t for t in tasks if t.name == chain.consumer)
+    assert consumer.priority == max(t.priority for t in tasks)
+    assert consumer.jitter == chain.period
+
+
+def test_can_bus_utilization_stays_analysable():
+    for seed in (1, 2, 3, 4, 5):
+        system = generate(seed)
+        util = sum(frame_time(f.dlc, system.can.bitrate_bps) / f.period
+                   for f in system.can.frame_specs)
+        assert util <= MAX_BUS_UTILIZATION
+
+
+def test_chain_frame_outranks_background_traffic():
+    system = generate(17)
+    specs = system.can.frame_specs
+    ids = [f.can_id for f in specs]
+    assert len(ids) == len(set(ids))
+    chain_spec = system.can.spec_of(system.chain.pdu_name)
+    assert chain_spec.can_id == CHAIN_CAN_ID
+    assert all(f.can_id > chain_spec.can_id for f in specs
+               if f.name != system.chain.pdu_name)
+
+
+def test_tdma_tasks_fit_their_windows():
+    system = generate(19)
+    plan = system.tdma
+    window = plan.major_frame // len(plan.partitions)
+    for task in plan.tasks:
+        assert task.wcet < window
+        assert task.period > plan.major_frame + window
+
+
+def test_critical_sections_partition_the_wcet():
+    system = generate(23)
+    wcet_of = {t.name: t.wcet for t in system.tasksets["E0"]}
+    for section in system.critical_sections:
+        assert section.pre + section.duration + section.post \
+            == wcet_of[section.task]
+        assert section.duration >= 1
+
+
+def test_size_classes_scale_the_system():
+    for size, spec in SIZES.items():
+        system = generate(5, size)
+        assert len(system.tasksets) == spec.n_ecus
+        assert len(system.tdma.partitions) == spec.tdma_partitions
+        assert len(system.flexray.dynamic_writers) == spec.n_dynamic_frames
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(ConfigurationError):
+        generate(1, "xxl")

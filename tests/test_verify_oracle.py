@@ -1,0 +1,79 @@
+"""Tests for the differential analysis-vs-simulation oracle."""
+
+import pytest
+
+from repro.verify import (analyze_bounds, format_report, generate,
+                          verify_many, verify_system)
+from repro.verify.oracle import LAYERS
+
+
+def test_analyze_bounds_covers_every_layer_without_simulating():
+    bounds, declined = analyze_bounds(generate(7))
+    layers = {layer for layer, __, __ in bounds}
+    assert layers == set(LAYERS)
+    assert all(bound >= 0 for __, __, bound in bounds)
+    # Whatever declines is reported, never silently dropped.
+    assert all(":" in entry for entry in declined)
+
+
+def test_single_system_verdict_is_sound_and_fully_observed():
+    verdict = verify_system(generate(7))
+    assert verdict.soundness_violations == []
+    assert verdict.invariant_violations == []
+    assert verdict.records > 0
+    by_layer = {}
+    for check in verdict.checks:
+        by_layer.setdefault(check.layer, []).append(check)
+    # Every layer produced at least one actual measurement.
+    for layer in LAYERS:
+        assert any(c.observed is not None for c in by_layer[layer])
+    # Tightness is >= 1 exactly when the bound holds.
+    for check in verdict.checks:
+        if check.observed:
+            assert (check.tightness >= 1.0) == check.sound
+
+
+def test_smoke_batch_passes_and_is_deterministic():
+    first = verify_many(7, 2)
+    second = verify_many(7, 2)
+    assert first.passed and second.passed
+    assert first.digest() == second.digest()
+    report = format_report(first)
+    assert "verdict: PASS" in report
+    assert first.digest() in report
+
+
+def test_layer_summary_counts_add_up():
+    report = verify_many(3, 2)
+    summary = report.layer_summary()
+    total = sum(row["checks"] for row in summary.values())
+    assert total == sum(len(v.checks) for v in report.verdicts)
+    for row in summary.values():
+        assert row["violations"] == 0
+        if row["tightness_min"] is not None:
+            assert row["tightness_min"] >= 1.0
+            assert row["tightness_min"] <= row["tightness_median"] \
+                <= row["tightness_max"]
+
+
+def test_ci_smoke_batch_of_five_systems_is_clean():
+    report = verify_many(7, 5)
+    assert report.soundness_violations == 0
+    assert report.invariant_violations == 0
+    assert report.passed
+
+
+@pytest.mark.slow
+def test_acceptance_batch_of_25_systems_clean_and_deterministic():
+    first = verify_many(7, 25)
+    assert first.soundness_violations == 0
+    assert first.invariant_violations == 0
+    assert first.passed
+    second = verify_many(7, 25)
+    assert first.digest() == second.digest()
+
+
+@pytest.mark.slow
+def test_medium_systems_also_verify_cleanly():
+    report = verify_many(11, 5, "medium")
+    assert report.passed
