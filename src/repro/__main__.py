@@ -8,6 +8,12 @@ installation sanity check.  ``campaign`` runs the reference fault
 campaign (all five fault kinds against a protected speed link) and
 exits non-zero when a fault goes undetected, corrupts application data,
 or fails to recover; ``campaign --smoke`` runs a single cell for CI.
+
+``campaign`` and ``verify`` both accept the execution-engine flags
+``--jobs N`` (process-pool fan-out; any N prints the identical report
+digest), ``--checkpoint PATH`` (JSONL journal of per-chunk results),
+``--resume`` (skip journaled chunks after an interrupted run) and
+``--progress`` (live rate/ETA lines on stderr).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ def info() -> int:
         ("repro.faults", "fault injection + containment monitors"),
         ("repro.bsw", "modes, DEM, NVRAM, watchdog, NM, diag, gateway"),
         ("repro.dse", "allocation, priorities, consolidation"),
+        ("repro.exec", "deterministic parallel sweeps + checkpointing"),
         ("repro.legacy", "CAN overlay middleware"),
     ]
     for module, description in subsystems:
@@ -104,16 +111,56 @@ def selftest() -> int:
     return 0 if status == "PASS" else 1
 
 
+def _add_exec_arguments(parser) -> None:
+    """The execution-engine flags shared by `campaign` and `verify`."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1: in-process; "
+                             "any N yields the identical report digest)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="JSONL journal recording per-chunk results")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip chunks already journaled as done in "
+                             "--checkpoint; re-run in-flight/failed ones")
+    parser.add_argument("--progress", action="store_true",
+                        help="live chunk/rate/ETA lines on stderr "
+                             "(stdout stays byte-identical)")
+
+
+def _make_progress(options, total_chunks: int, total_items: int):
+    """A live ProgressMeter when --progress was given, else None."""
+    if not options.progress:
+        return None
+    from repro.exec import ProgressMeter
+
+    return ProgressMeter(total_chunks, total_items,
+                         emit=lambda line: print(line, file=sys.stderr))
+
+
 def campaign(args: list[str]) -> int:
     """Run the reference fault campaign (the `campaign` subcommand)."""
+    import argparse
+
     from repro.analysis import format_robustness, robustness_report
     from repro.faults import ReferenceWorld, reference_cells, run_campaign
     from repro.units import ms
 
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="reference fault-injection campaign")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run a single corruption cell (CI gate)")
+    _add_exec_arguments(parser)
+    options = parser.parse_args(args)
+    if options.resume and not options.checkpoint:
+        parser.error("--resume requires --checkpoint")
+
     cells = reference_cells()
-    if "--smoke" in args:
+    if options.smoke:
         cells = cells[:1]  # one corruption cell: fast CI regression gate
-    report = run_campaign(ReferenceWorld, cells, horizon=ms(300))
+    report = run_campaign(
+        ReferenceWorld, cells, horizon=ms(300), jobs=options.jobs,
+        checkpoint=options.checkpoint, resume=options.resume,
+        progress=_make_progress(options, len(cells), len(cells)))
     print(f"fault campaign: {report.cells} cell(s), horizon 300 ms")
     for result in report.results:
         status = "DETECTED" if result.detected else "UNDETECTED"
@@ -122,6 +169,7 @@ def campaign(args: list[str]) -> int:
               f"degraded={result.degraded} contained={result.contained} "
               f"recovered={result.recovered}")
     print(format_robustness(robustness_report(report)))
+    print(f"report digest: sha256:{report.digest()}")
     corrupted = sum(r.extra.get("undetected_corrupted", 0)
                     for r in report.results)
     healthy = (report.detection_rate == 1.0
@@ -148,8 +196,15 @@ def verify(args: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--systems", type=int, default=25)
     parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    _add_exec_arguments(parser)
     options = parser.parse_args(args)
-    report = verify_many(options.seed, options.systems, options.size)
+    if options.resume and not options.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    report = verify_many(
+        options.seed, options.systems, options.size, jobs=options.jobs,
+        checkpoint=options.checkpoint, resume=options.resume,
+        progress=_make_progress(options, options.systems,
+                                options.systems))
     print(format_report(report))
     return 0 if report.passed else 1
 

@@ -235,6 +235,11 @@ def robustness_report(campaign) -> dict:
     counterpart of :func:`timing_report`: where the timing report proves
     deadlines *before* implementation, this proves detection,
     containment and recovery *after* injection.
+
+    The row carries the campaign's order-independent ``digest``, so an
+    archived report identifies the exact cell outcomes it was built
+    from — the same digest any executor (serial, ``--jobs N``, resumed)
+    prints for those cells.
     """
     from repro.sim.trace import summarize
 
@@ -262,7 +267,8 @@ def robustness_report(campaign) -> dict:
         }
         for kind, b in sorted(by_kind.items())
     }
-    return {"summary": campaign.summary(), "by_kind": kinds}
+    return {"summary": campaign.summary(), "by_kind": kinds,
+            "digest": campaign.digest()}
 
 
 def format_robustness(report: dict) -> str:

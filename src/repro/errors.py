@@ -60,3 +60,22 @@ class FaultContainmentViolation(ReproError):
 class ProtocolError(ReproError):
     """A communication controller violated its protocol rules
     (e.g. transmission outside the node's TDMA slot without a fault model)."""
+
+
+class ExecutionError(ReproError):
+    """The parallel execution engine could not complete a work plan.
+
+    Raised when chunks exhaust their retry budget, when a checkpoint
+    journal does not match the plan being resumed, or when a resume is
+    requested without a journal to resume from.
+    """
+
+
+class ExecutionInterrupted(ReproError):
+    """A run was cut short before every chunk completed.
+
+    Raised by the ``interrupt_after`` hook of
+    :func:`repro.exec.pool.execute` — the programmatic stand-in for a
+    killed process.  Chunks journaled before the interruption survive
+    and are skipped by a ``resume`` run.
+    """

@@ -1,0 +1,141 @@
+"""Checkpoint journal: append-only JSONL record of a plan execution.
+
+One journal file per run.  The first line identifies the plan (its
+fingerprint, chunk and item counts); every subsequent line is one
+event:
+
+* ``start`` — a chunk was handed to a worker;
+* ``done``  — a chunk completed; carries the pickled result payload
+  (base85-encoded so the journal stays line-oriented UTF-8 JSON) plus
+  the worker pid and wall time;
+* ``failed`` — a chunk exhausted its retry budget.
+
+Records are flushed line-by-line, so a killed run loses at most the
+chunks that were in flight.  On ``resume`` the journal is replayed:
+``done`` chunks are recovered from their payloads and skipped,
+``start``-without-``done`` chunks (in flight when the run died) and
+``failed`` chunks are re-run.  A journal whose plan fingerprint does
+not match the plan being resumed is refused — silently mixing results
+of two different sweeps is exactly the corruption this check exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.exec.plan import _PICKLE_PROTOCOL, Plan
+
+
+def _encode_payload(results: list) -> str:
+    return base64.b85encode(
+        pickle.dumps(results, protocol=_PICKLE_PROTOCOL)).decode("ascii")
+
+
+def _decode_payload(payload: str) -> list:
+    return pickle.loads(base64.b85decode(payload.encode("ascii")))
+
+
+@dataclass
+class JournalState:
+    """Replay of a journal: what is already done, what must re-run."""
+
+    completed: dict = field(default_factory=dict)  # chunk index -> results
+    in_flight: set = field(default_factory=set)
+    failed: set = field(default_factory=set)
+
+    @property
+    def pending(self) -> set:
+        """Chunks that must re-run: started-but-unfinished or failed."""
+        return (self.in_flight | self.failed) - set(self.completed)
+
+
+class Journal:
+    """Append-only JSONL checkpoint for one plan execution."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------
+    def begin(self, plan: Plan) -> None:
+        """Start a fresh journal (truncates any previous one)."""
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._write({"type": "plan", "label": plan.label,
+                     "fingerprint": plan.fingerprint(),
+                     "chunks": len(plan.chunks()),
+                     "items": plan.n_items})
+
+    def reopen(self) -> None:
+        """Continue appending to an existing journal (resume path)."""
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record_start(self, chunk_index: int) -> None:
+        self._write({"type": "start", "chunk": chunk_index})
+
+    def record_done(self, chunk_index: int, results: list,
+                    elapsed: float, worker: int) -> None:
+        self._write({"type": "done", "chunk": chunk_index,
+                     "payload": _encode_payload(results),
+                     "elapsed": round(elapsed, 6), "worker": worker})
+
+    def record_failed(self, chunk_index: int, error: str,
+                      attempts: int) -> None:
+        self._write({"type": "failed", "chunk": chunk_index,
+                     "error": error, "attempts": attempts})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write(self, record: dict) -> None:
+        if self._handle is None:
+            raise ExecutionError(
+                f"journal {self.path}: write before begin()/reopen()")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    # -- replay --------------------------------------------------------
+    def load(self, plan: Optional[Plan] = None) -> JournalState:
+        """Replay the journal; validate it against ``plan`` if given."""
+        if not os.path.exists(self.path):
+            raise ExecutionError(
+                f"cannot resume: no checkpoint journal at {self.path}")
+        state = JournalState()
+        with open(self.path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            raise ExecutionError(
+                f"cannot resume: journal {self.path} is empty")
+        header = json.loads(lines[0])
+        if header.get("type") != "plan":
+            raise ExecutionError(
+                f"journal {self.path}: missing plan header")
+        if plan is not None \
+                and header.get("fingerprint") != plan.fingerprint():
+            raise ExecutionError(
+                f"journal {self.path} was written for a different plan "
+                f"(journal {header.get('label')!r} "
+                f"fingerprint {header.get('fingerprint')!r}); refusing "
+                f"to mix results")
+        for line in lines[1:]:
+            record = json.loads(line)
+            kind = record.get("type")
+            index = record.get("chunk")
+            if kind == "start":
+                state.in_flight.add(index)
+            elif kind == "done":
+                state.completed[index] = _decode_payload(record["payload"])
+                state.in_flight.discard(index)
+                state.failed.discard(index)
+            elif kind == "failed":
+                state.failed.add(index)
+                state.in_flight.discard(index)
+        return state

@@ -1,0 +1,265 @@
+"""Deterministic fan-out of a work plan over a process pool.
+
+:func:`execute` runs a :class:`~repro.exec.plan.Plan` either in-process
+(``jobs=1``) or across a ``concurrent.futures`` process pool, and
+merges chunk results **by chunk index**, never by completion order —
+so together with the index-derived seeds of :mod:`repro.exec.shard`,
+``jobs=1`` and ``jobs=N`` produce byte-identical merged results.
+
+Failure handling:
+
+* a worker that *raises* has the chunk retried up to ``retries`` extra
+  attempts before the chunk is marked failed;
+* a worker that *dies* (segfault, ``os._exit``, OOM-kill) breaks the
+  shared pool; every chunk left unresolved by the broken round is then
+  re-run in its own single-worker pool, which attributes the crash to
+  the guilty chunk precisely (an innocent chunk simply completes in
+  isolation) while the same retry budget applies.
+
+Every chunk transition is journaled through
+:mod:`repro.exec.checkpoint` when a checkpoint path is given, and
+``resume=True`` replays the journal to skip completed chunks and re-run
+in-flight or failed ones.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, \
+    as_completed
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ExecutionError, ExecutionInterrupted
+from repro.exec.checkpoint import Journal
+from repro.exec.plan import Plan
+from repro.exec.progress import ProgressMeter
+from repro.exec.shard import Chunk
+
+
+def _run_chunk(worker, chunk: Chunk) -> tuple[list, int, float]:
+    """Worker-side chunk body: run every item with its derived seed."""
+    import os
+    started = time.perf_counter()
+    results = [worker(item, seed)
+               for item, seed in zip(chunk.items, chunk.seeds)]
+    return results, os.getpid(), time.perf_counter() - started
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one :func:`execute` call."""
+
+    label: str
+    results: list = field(default_factory=list)
+    #: chunk index -> last error string, for chunks past their budget.
+    failures: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    chunks_resumed: int = 0
+    chunks_executed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            detail = "; ".join(f"chunk {index}: {error}"
+                               for index, error in sorted(self.failures.items()))
+            raise ExecutionError(
+                f"plan {self.label!r}: {len(self.failures)} chunk(s) "
+                f"failed after retries — {detail}")
+
+
+class _NullJournal:
+    """Journal stand-in when no checkpoint path was given."""
+
+    def begin(self, plan):
+        pass
+
+    def reopen(self):
+        pass
+
+    def record_start(self, index):
+        pass
+
+    def record_done(self, index, results, elapsed, worker):
+        pass
+
+    def record_failed(self, index, error, attempts):
+        pass
+
+    def close(self):
+        pass
+
+
+def execute(plan: Plan, jobs: int = 1, retries: int = 1,
+            checkpoint=None, resume: bool = False,
+            progress: Optional[ProgressMeter] = None,
+            interrupt_after: Optional[int] = None) -> ExecutionResult:
+    """Run ``plan`` and return its merged, plan-ordered results.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans chunks out over a
+    process pool.  Either way the merged results are identical.
+
+    ``checkpoint`` names a JSONL journal; with ``resume=True`` chunks
+    already journaled as done are recovered instead of re-run (the
+    journal must match the plan's fingerprint).  ``interrupt_after=N``
+    aborts the run with :class:`ExecutionInterrupted` after ``N`` chunk
+    completions — the programmatic equivalent of killing the process,
+    used to exercise the resume path.
+
+    ``retries`` bounds *extra* attempts per chunk (``retries=1`` means
+    at most two attempts) for both raised exceptions and worker deaths.
+    """
+    if jobs < 1:
+        raise ExecutionError(f"jobs must be >= 1, got {jobs}")
+    if resume and checkpoint is None:
+        raise ExecutionError("resume=True requires a checkpoint path")
+
+    chunks = plan.chunks()
+    journal = Journal(checkpoint) if checkpoint is not None \
+        else _NullJournal()
+
+    completed: dict[int, list] = {}
+    chunks_resumed = 0
+    if resume:
+        state = journal.load(plan)
+        completed = dict(state.completed)
+        chunks_resumed = len(completed)
+        journal.reopen()
+    else:
+        journal.begin(plan)
+
+    meter = progress if progress is not None \
+        else ProgressMeter(len(chunks), plan.n_items)
+    for index in sorted(completed):
+        meter.chunk_skipped(len(completed[index]))
+
+    pending = [chunk for chunk in chunks if chunk.index not in completed]
+    failures: dict[int, str] = {}
+    attempts: dict[int, int] = {}
+    done_this_run = 0
+
+    def note_done(chunk: Chunk, results: list, worker: int,
+                  elapsed: float) -> bool:
+        """Record a completion; True when the interrupt budget is hit."""
+        nonlocal done_this_run
+        completed[chunk.index] = results
+        journal.record_done(chunk.index, results, elapsed, worker)
+        meter.chunk_done(chunk.size, elapsed, worker)
+        done_this_run += 1
+        return interrupt_after is not None \
+            and done_this_run >= interrupt_after
+
+    def note_failure(chunk: Chunk, error: Exception) -> bool:
+        """Count a failed attempt; True when the chunk may retry."""
+        attempts[chunk.index] = attempts.get(chunk.index, 0) + 1
+        if attempts[chunk.index] <= retries:
+            return True
+        message = f"{type(error).__name__}: {error}"
+        failures[chunk.index] = message
+        journal.record_failed(chunk.index, message,
+                              attempts[chunk.index])
+        meter.chunk_failed()
+        return False
+
+    try:
+        if jobs == 1:
+            _serial(plan, pending, journal, note_done, note_failure)
+        else:
+            _parallel(plan, pending, jobs, journal, note_done, note_failure)
+    finally:
+        journal.close()
+
+    merged = [result for index in sorted(completed)
+              for result in completed[index]]
+    return ExecutionResult(plan.label, merged, failures, meter.snapshot(),
+                           chunks_resumed, len(completed) - chunks_resumed)
+
+
+def _serial(plan: Plan, pending: list, journal, note_done,
+            note_failure) -> None:
+    """In-process execution: same journal/merge path as the pool."""
+    queue = sorted(pending, key=lambda c: c.index)
+    while queue:
+        chunk = queue.pop(0)
+        journal.record_start(chunk.index)
+        try:
+            results, worker, elapsed = _run_chunk(plan.worker, chunk)
+        except Exception as error:
+            if note_failure(chunk, error):
+                queue.insert(0, chunk)
+            continue
+        if note_done(chunk, results, worker, elapsed):
+            raise ExecutionInterrupted(
+                f"plan {plan.label!r}: interrupted with "
+                f"{len(queue)} chunk(s) outstanding")
+
+
+def _parallel(plan: Plan, pending: list, jobs: int, journal,
+              note_done, note_failure) -> None:
+    """Round-based pool execution with crash isolation."""
+    queue = sorted(pending, key=lambda c: c.index)
+    while queue:
+        batch, queue = queue, []
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(batch)))
+        futures = {}
+        for chunk in batch:
+            journal.record_start(chunk.index)
+            futures[pool.submit(_run_chunk, plan.worker, chunk)] = chunk
+        unresolved = {chunk.index: chunk for chunk in batch}
+        interrupted = broken = False
+        try:
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    results, worker, elapsed = future.result()
+                except BrokenExecutor:
+                    # A worker died; attribution is impossible from the
+                    # shared pool — resolve the leftovers in isolation.
+                    broken = True
+                    continue
+                except Exception as error:
+                    unresolved.pop(chunk.index, None)
+                    if note_failure(chunk, error):
+                        queue.append(chunk)
+                    continue
+                unresolved.pop(chunk.index, None)
+                if note_done(chunk, results, worker, elapsed):
+                    interrupted = True
+                    break
+        finally:
+            pool.shutdown(wait=not (interrupted or broken),
+                          cancel_futures=True)
+        if interrupted:
+            raise ExecutionInterrupted(
+                f"plan {plan.label!r}: interrupted with "
+                f"{len(queue) + len(unresolved)} chunk(s) outstanding")
+        if broken:
+            for index in sorted(unresolved):
+                if _run_isolated(plan, unresolved[index], journal,
+                                 note_done, note_failure):
+                    raise ExecutionInterrupted(
+                        f"plan {plan.label!r}: interrupted during "
+                        f"crash isolation")
+        queue.sort(key=lambda c: c.index)
+
+
+def _run_isolated(plan: Plan, chunk: Chunk, journal, note_done,
+                  note_failure) -> bool:
+    """Run one chunk alone in a single-worker pool until it succeeds or
+    exhausts its retry budget; returns True on interrupt-budget hit."""
+    while True:
+        journal.record_start(chunk.index)
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = pool.submit(_run_chunk, plan.worker, chunk)
+            results, worker, elapsed = future.result()
+        except Exception as error:
+            if note_failure(chunk, error):
+                continue
+            return False
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return note_done(chunk, results, worker, elapsed)

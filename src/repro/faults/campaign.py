@@ -15,7 +15,11 @@ plain data structure consumable by :mod:`repro.analysis.system_report`.
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import inspect
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -164,6 +168,20 @@ class CampaignReport:
         return [r.recovery_latency for r in self.results
                 if r.recovery_latency is not None]
 
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form of the *sorted* result
+        rows — identical for any executor (serial, parallel, resumed)
+        that ran the same cells to the same horizon."""
+        rows = sorted(self.to_dicts(),
+                      key=lambda row: (row["kind"], row["target"],
+                                       row["onset"],
+                                       -1 if row["duration"] is None
+                                       else row["duration"]))
+        canonical = json.dumps({"horizon": self.horizon, "cells": rows},
+                               sort_keys=True, separators=(",", ":"),
+                               default=repr)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     def summary(self) -> dict:
         """Aggregate verdicts (the report's one-look row)."""
         return {
@@ -212,10 +230,31 @@ class CampaignWorld:
         return {}
 
 
-def run_cell(factory: Callable[[], CampaignWorld], cell: CampaignCell,
-             horizon: int) -> CellResult:
+def _make_world(factory: Callable[..., CampaignWorld],
+                seed: Optional[int]) -> CampaignWorld:
+    """Build a fresh world, passing ``seed`` to factories that take one.
+
+    Stochastic scenarios declare a ``seed`` parameter (or ``**kwargs``)
+    and receive the cell's spawn-derived seed; deterministic worlds
+    like :class:`ReferenceWorld` are simply called with no arguments.
+    """
+    if seed is None:
+        return factory()
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return factory()
+    if "seed" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()):
+        return factory(seed=seed)
+    return factory()
+
+
+def run_cell(factory: Callable[..., CampaignWorld], cell: CampaignCell,
+             horizon: int, seed: Optional[int] = None) -> CellResult:
     """Run one cell: fresh world, one fault, measure, tear down."""
-    world = factory()
+    world = _make_world(factory, seed)
     if cell.end is not None and cell.end >= horizon:
         raise ConfigurationError(
             f"cell {cell.label}: fault window must close before the "
@@ -226,12 +265,39 @@ def run_cell(factory: Callable[[], CampaignWorld], cell: CampaignCell,
     return _evaluate(world, cell, horizon)
 
 
-def run_campaign(factory: Callable[[], CampaignWorld],
+def _cell_worker(factory, horizon: int, cell: CampaignCell,
+                 seed: int) -> CellResult:
+    """Plan worker (module-level, hence picklable): one cell per call."""
+    return run_cell(factory, cell, horizon, seed)
+
+
+def run_campaign(factory: Callable[..., CampaignWorld],
                  cells: Iterable[CampaignCell],
-                 horizon: int) -> CampaignReport:
-    """Run every cell through a fresh world; deterministic order."""
-    results = [run_cell(factory, cell, horizon) for cell in cells]
-    return CampaignReport(results, horizon)
+                 horizon: int, jobs: int = 1, base_seed: int = 0,
+                 checkpoint=None, resume: bool = False, retries: int = 1,
+                 progress=None,
+                 interrupt_after: Optional[int] = None) -> CampaignReport:
+    """Run every cell through a fresh world.
+
+    Cells are executed through :mod:`repro.exec`: sharded one cell per
+    chunk, seeded from ``(base_seed, cell_index)``, and merged back in
+    plan order — so ``jobs=1`` and ``jobs=N`` yield reports with the
+    same :meth:`CampaignReport.digest`.  ``checkpoint``/``resume``
+    journal per-cell results to a JSONL file and skip completed cells
+    on restart; ``interrupt_after`` aborts after that many completions
+    (testing hook for the resume path).
+    """
+    from repro.exec import Plan, execute
+
+    cells = tuple(cells)
+    plan = Plan(f"campaign:horizon={horizon}",
+                functools.partial(_cell_worker, factory, horizon),
+                cells, base_seed=base_seed)
+    outcome = execute(plan, jobs=jobs, retries=retries,
+                      checkpoint=checkpoint, resume=resume,
+                      progress=progress, interrupt_after=interrupt_after)
+    outcome.raise_on_failure()
+    return CampaignReport(outcome.results, horizon)
 
 
 def _evaluate(world: CampaignWorld, cell: CampaignCell,

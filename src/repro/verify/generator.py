@@ -392,6 +392,15 @@ def generate(seed: int, size: str = "small") -> GeneratedSystem:
 
 def generate_many(seed: int, count: int,
                   size: str = "small") -> list[GeneratedSystem]:
-    """Generate ``count`` systems with per-system seeds derived from
-    ``seed`` (deterministic and collision-free for sane counts)."""
-    return [generate(seed * 10_007 + i, size) for i in range(count)]
+    """Generate ``count`` systems, each seeded from ``(seed, index)``.
+
+    Per-system seeds are spawn-derived by
+    :func:`repro.exec.shard.derive_seed` — a pure function of the batch
+    seed and the system's index, with no shared sequential stream — so
+    system ``i`` is identical whether the batch is generated serially,
+    in parallel chunks, in any order, or one system at a time
+    (``generate_many(s, n)[:k] == generate_many(s, k)``).
+    """
+    from repro.exec.shard import derive_seed
+
+    return [generate(derive_seed(seed, i), size) for i in range(count)]

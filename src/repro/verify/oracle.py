@@ -23,6 +23,7 @@ one thing this harness exists to catch.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
@@ -142,8 +143,13 @@ class VerificationReport:
                 and self.invariant_violations == 0)
 
     def to_dict(self) -> dict:
+        """Canonical form: verdicts are emitted in *sorted* order
+        (by per-system seed, then name), not insertion order, so the
+        digest and exit verdict are stable under any executor —
+        serial, parallel, or resumed — regardless of completion order."""
+        ordered = sorted(self.verdicts, key=lambda v: (v.seed, v.name))
         return {"seed": self.seed, "systems": self.count, "size": self.size,
-                "verdicts": [v.to_dict() for v in self.verdicts]}
+                "verdicts": [v.to_dict() for v in ordered]}
 
     def digest(self) -> str:
         """SHA-256 over the canonical JSON form — two runs of the same
@@ -464,13 +470,43 @@ def verify_system(system: GeneratedSystem,
                          declined, violations, len(built.trace))
 
 
+def _system_worker(horizon: Optional[int], system: GeneratedSystem,
+                   seed: int) -> SystemVerdict:
+    """Plan worker (module-level, hence picklable): one system per call.
+
+    The ``seed`` argument is the engine's spawn-derived per-item seed;
+    the system spec was already generated from it, so verification
+    itself draws no randomness and the argument is unused.
+    """
+    return verify_system(system, horizon)
+
+
 def verify_many(seed: int, count: int, size: str = "small",
-                horizon: Optional[int] = None) -> VerificationReport:
-    """Generate and differentially verify ``count`` systems."""
-    report = VerificationReport(seed, count, size)
-    for system in generate_many(seed, count, size):
-        report.verdicts.append(verify_system(system, horizon))
-    return report
+                horizon: Optional[int] = None, jobs: int = 1,
+                checkpoint=None, resume: bool = False, retries: int = 1,
+                progress=None,
+                interrupt_after: Optional[int] = None
+                ) -> VerificationReport:
+    """Generate and differentially verify ``count`` systems.
+
+    System specs are generated up front (cheap) and fanned out over
+    :mod:`repro.exec` (simulation is the expensive half) — the specs
+    travel to the workers by pickling, and results merge in plan order,
+    so ``jobs=1`` and ``jobs=N`` produce identical report digests.
+    ``checkpoint``/``resume`` journal per-system verdicts and skip
+    completed systems on restart.
+    """
+    from repro.exec import Plan, execute
+
+    systems = tuple(generate_many(seed, count, size))
+    plan = Plan(f"verify:size={size}:horizon={horizon}",
+                functools.partial(_system_worker, horizon),
+                systems, base_seed=seed)
+    outcome = execute(plan, jobs=jobs, retries=retries,
+                      checkpoint=checkpoint, resume=resume,
+                      progress=progress, interrupt_after=interrupt_after)
+    outcome.raise_on_failure()
+    return VerificationReport(seed, count, size, list(outcome.results))
 
 
 def format_report(report: VerificationReport) -> str:

@@ -157,3 +157,56 @@ def test_identical_scenario_yields_byte_identical_report():
         json.dumps(second.to_dicts(), sort_keys=True)
     assert format_robustness(robustness_report(first)) == \
         format_robustness(robustness_report(second))
+
+
+def test_robustness_report_carries_the_campaign_digest():
+    cells = reference_cells()[:1]
+    report = run_campaign(ReferenceWorld, cells, horizon=HORIZON)
+    assert robustness_report(report)["digest"] == report.digest()
+
+
+def test_parallel_campaign_matches_serial_digest():
+    # The repro.exec scaling guarantee at campaign level: any job count
+    # merges back to the byte-identical report.
+    cells = reference_cells()[:3]
+    serial = run_campaign(ReferenceWorld, cells, horizon=HORIZON)
+    parallel = run_campaign(ReferenceWorld, cells, horizon=HORIZON, jobs=2)
+    assert serial.digest() == parallel.digest()
+    assert serial.to_dicts() == parallel.to_dicts()
+
+
+def test_campaign_digest_is_order_independent():
+    from repro.faults.campaign import CampaignReport
+
+    cells = reference_cells()[:2]
+    report = run_campaign(ReferenceWorld, cells, horizon=HORIZON)
+    shuffled = CampaignReport(list(reversed(report.results)),
+                              report.horizon)
+    assert shuffled.digest() == report.digest()
+
+
+def test_interrupted_campaign_resumes_to_identical_digest(tmp_path):
+    from repro.errors import ExecutionInterrupted
+
+    path = tmp_path / "campaign.jsonl"
+    cells = reference_cells()[:3]
+    uninterrupted = run_campaign(ReferenceWorld, cells, horizon=HORIZON)
+    with pytest.raises(ExecutionInterrupted):
+        run_campaign(ReferenceWorld, cells, horizon=HORIZON,
+                     checkpoint=path, interrupt_after=1)
+    resumed = run_campaign(ReferenceWorld, cells, horizon=HORIZON,
+                           checkpoint=path, resume=True)
+    assert resumed.digest() == uninterrupted.digest()
+
+
+def test_campaign_seed_reaches_seed_aware_factories():
+    from repro.faults.campaign import _make_world
+
+    class SeedAware(ReferenceWorld):
+        def __init__(self, seed=None):
+            super().__init__()
+            self.seen_seed = seed
+
+    assert _make_world(SeedAware, 1234).seen_seed == 1234
+    assert _make_world(ReferenceWorld, 1234) is not None  # not passed
+    assert _make_world(SeedAware, None).seen_seed is None

@@ -1,0 +1,355 @@
+"""Tests for repro.exec — deterministic parallel execution engine."""
+
+import json
+import os
+import pickle
+from functools import partial
+
+import pytest
+
+from repro.errors import (ConfigurationError, ExecutionError,
+                          ExecutionInterrupted)
+from repro.exec import (Chunk, Journal, Plan, ProgressMeter, derive_seed,
+                        execute, shard)
+
+
+# ---------------------------------------------------------------------------
+# module-level workers (must be picklable by reference for the pool)
+# ---------------------------------------------------------------------------
+def square_worker(item, seed):
+    return {"item": item, "square": item * item, "seed": seed}
+
+
+def faulty_worker(bad_item, item, seed):
+    if item == bad_item:
+        raise ValueError(f"poisoned item {item}")
+    return item + 1
+
+
+def crash_worker(marker_dir, crash_item, item, seed):
+    """Dies (no exception, no cleanup) the first time it sees
+    ``crash_item``; succeeds on any retry thanks to the marker file."""
+    if item == crash_item:
+        marker = os.path.join(marker_dir, f"crashed-{item}")
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            os._exit(3)
+    return item * 10
+
+
+def always_crash_worker(crash_item, item, seed):
+    if item == crash_item:
+        os._exit(3)
+    return item * 10
+
+
+# ---------------------------------------------------------------------------
+# seed derivation
+# ---------------------------------------------------------------------------
+def test_derived_seeds_are_deterministic_and_order_free():
+    assert derive_seed(7, 3) == derive_seed(7, 3)
+    forward = [derive_seed(7, i) for i in range(20)]
+    backward = [derive_seed(7, i) for i in reversed(range(20))]
+    assert forward == list(reversed(backward))
+
+
+def test_derived_seeds_are_distinct_across_index_and_base():
+    seeds = {derive_seed(base, i) for base in range(10) for i in range(50)}
+    assert len(seeds) == 500
+    assert all(s >= 0 for s in seeds)
+
+
+def test_derived_seed_is_not_sequential():
+    # Spawn-style hashing: neighbouring indices share no arithmetic
+    # relationship (a shared sequential stream would).
+    deltas = {derive_seed(1, i + 1) - derive_seed(1, i) for i in range(8)}
+    assert len(deltas) == 8
+
+
+# ---------------------------------------------------------------------------
+# sharding
+# ---------------------------------------------------------------------------
+def test_shard_partitions_all_items_in_order():
+    chunks = shard(list(range(10)), chunk_size=3)
+    assert [c.index for c in chunks] == [0, 1, 2, 3]
+    assert [c.start for c in chunks] == [0, 3, 6, 9]
+    assert [item for c in chunks for item in c.items] == list(range(10))
+    assert all(len(c.seeds) == len(c.items) for c in chunks)
+
+
+def test_shard_seeds_match_global_item_index():
+    chunks = shard(list(range(10)), chunk_size=4, base_seed=5)
+    flat = [seed for c in chunks for seed in c.seeds]
+    assert flat == [derive_seed(5, i) for i in range(10)]
+
+
+def test_shard_is_independent_of_worker_count():
+    # Chunking depends only on (items, chunk_size): nothing else to vary.
+    assert shard(list(range(7)), 2) == shard(tuple(range(7)), 2)
+
+
+def test_shard_rejects_bad_chunk_size():
+    with pytest.raises(ConfigurationError):
+        shard([1, 2], 0)
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+def test_plan_fingerprint_identifies_the_work():
+    plan = Plan("t", square_worker, (1, 2, 3), base_seed=4)
+    same = Plan("t", square_worker, (1, 2, 3), base_seed=4)
+    assert plan.fingerprint() == same.fingerprint()
+    assert plan.fingerprint() != Plan("t", square_worker, (1, 2, 4),
+                                      base_seed=4).fingerprint()
+    assert plan.fingerprint() != Plan("t", square_worker, (1, 2, 3),
+                                      base_seed=5).fingerprint()
+    assert plan.fingerprint() != Plan("u", square_worker, (1, 2, 3),
+                                      base_seed=4).fingerprint()
+
+
+def test_plan_round_trips_through_pickle():
+    plan = Plan("t", partial(faulty_worker, 99), tuple(range(6)),
+                chunk_size=2)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.label == plan.label
+    assert clone.items == plan.items
+    assert clone.fingerprint() == plan.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# execution: determinism
+# ---------------------------------------------------------------------------
+def test_serial_and_parallel_results_are_identical():
+    plan = Plan("sq", square_worker, tuple(range(11)), base_seed=3,
+                chunk_size=2)
+    serial = execute(plan, jobs=1)
+    parallel = execute(plan, jobs=3)
+    assert serial.ok and parallel.ok
+    assert serial.results == parallel.results
+    assert [r["item"] for r in serial.results] == list(range(11))
+    assert [r["seed"] for r in serial.results] \
+        == [derive_seed(3, i) for i in range(11)]
+
+
+def test_empty_plan_executes_to_empty_results():
+    outcome = execute(Plan("empty", square_worker, ()))
+    assert outcome.ok and outcome.results == []
+
+
+def test_execute_rejects_bad_arguments():
+    plan = Plan("sq", square_worker, (1,))
+    with pytest.raises(ExecutionError):
+        execute(plan, jobs=0)
+    with pytest.raises(ExecutionError):
+        execute(plan, resume=True)  # resume without a checkpoint
+
+
+# ---------------------------------------------------------------------------
+# execution: failure handling
+# ---------------------------------------------------------------------------
+def test_raising_worker_is_retried_then_marked_failed():
+    plan = Plan("faulty", partial(faulty_worker, 4), tuple(range(6)))
+    outcome = execute(plan, jobs=1, retries=2)
+    assert not outcome.ok
+    assert list(outcome.failures) == [4]
+    assert "poisoned item 4" in outcome.failures[4]
+    # Every healthy item still completed, in plan order.
+    assert outcome.results == [1, 2, 3, 4, 6]
+    with pytest.raises(ExecutionError, match="chunk 4"):
+        outcome.raise_on_failure()
+
+
+def test_failed_attempts_are_journaled(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("faulty", partial(faulty_worker, 1), (0, 1, 2))
+    execute(plan, retries=1, checkpoint=path)
+    records = [json.loads(line) for line in open(path)]
+    failed = [r for r in records if r["type"] == "failed"]
+    assert len(failed) == 1 and failed[0]["chunk"] == 1
+    assert failed[0]["attempts"] == 2  # retries=1 -> two attempts
+
+
+def test_crashed_worker_is_isolated_and_retried(tmp_path):
+    # Item 5's worker dies mid-chunk on its first attempt, taking the
+    # shared pool down; isolation re-runs it and the sweep completes.
+    plan = Plan("crashy",
+                partial(crash_worker, str(tmp_path), 5),
+                tuple(range(8)), chunk_size=2)
+    outcome = execute(plan, jobs=2, retries=1)
+    assert outcome.ok
+    assert outcome.results == [i * 10 for i in range(8)]
+
+
+def test_permanently_crashing_chunk_is_marked_failed():
+    plan = Plan("crashy", partial(always_crash_worker, 2),
+                tuple(range(4)))
+    outcome = execute(plan, jobs=2, retries=1)
+    assert not outcome.ok
+    assert list(outcome.failures) == [2]
+    assert outcome.results == [0, 10, 30]
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------------
+def test_interrupt_then_resume_matches_uninterrupted_run(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, tuple(range(9)), chunk_size=2)
+    uninterrupted = execute(plan, jobs=1)
+    with pytest.raises(ExecutionInterrupted):
+        execute(plan, jobs=1, checkpoint=path, interrupt_after=2)
+    resumed = execute(plan, jobs=1, checkpoint=path, resume=True)
+    assert resumed.ok
+    assert resumed.results == uninterrupted.results
+    assert resumed.chunks_resumed == 2
+    assert resumed.chunks_executed == 3
+
+
+def test_parallel_resume_of_serial_journal(tmp_path):
+    # Chunking never depends on the job count, so a journal written by
+    # one executor is resumable by any other.
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, tuple(range(9)), chunk_size=2)
+    with pytest.raises(ExecutionInterrupted):
+        execute(plan, jobs=1, checkpoint=path, interrupt_after=3)
+    resumed = execute(plan, jobs=2, checkpoint=path, resume=True)
+    assert resumed.results == execute(plan, jobs=1).results
+
+
+def test_resume_refuses_a_mismatched_journal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    execute(Plan("sq", square_worker, (1, 2, 3)), checkpoint=path)
+    other = Plan("sq", square_worker, (1, 2, 3, 4))
+    with pytest.raises(ExecutionError, match="different plan"):
+        execute(other, checkpoint=path, resume=True)
+
+
+def test_resume_without_journal_raises(tmp_path):
+    plan = Plan("sq", square_worker, (1,))
+    with pytest.raises(ExecutionError, match="no checkpoint journal"):
+        execute(plan, checkpoint=tmp_path / "missing.jsonl", resume=True)
+
+
+def test_journal_replay_classifies_chunk_states(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, (1, 2, 3))
+    journal = Journal(path)
+    journal.begin(plan)
+    journal.record_start(0)
+    journal.record_done(0, [41], 0.1, worker=1234)
+    journal.record_start(1)  # in flight when the run died
+    journal.record_start(2)
+    journal.record_failed(2, "boom", attempts=2)
+    journal.close()
+    state = Journal(path).load(plan)
+    assert state.completed == {0: [41]}
+    assert state.pending == {1, 2}
+
+
+def test_fully_journaled_run_resumes_without_executing(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, tuple(range(4)))
+    first = execute(plan, checkpoint=path)
+    resumed = execute(plan, checkpoint=path, resume=True)
+    assert resumed.results == first.results
+    assert resumed.chunks_executed == 0
+    assert resumed.chunks_resumed == 4
+
+
+# ---------------------------------------------------------------------------
+# progress metrics
+# ---------------------------------------------------------------------------
+def test_progress_meter_rates_and_eta():
+    now = [0.0]
+    meter = ProgressMeter(4, 40, clock=lambda: now[0])
+    now[0] = 10.0
+    meter.chunk_skipped(10)
+    meter.chunk_done(10, elapsed=4.0, worker=111)
+    meter.chunk_done(10, elapsed=6.0, worker=222)
+    snap = meter.snapshot()
+    assert snap["chunks_done"] == 2 and snap["chunks_skipped"] == 1
+    assert snap["items_done"] == 20 and snap["items_skipped"] == 10
+    assert snap["items_per_s"] == pytest.approx(2.0)
+    assert snap["eta_s"] == pytest.approx(5.0)  # 10 items left at 2/s
+    assert snap["workers"] == {
+        111: {"chunks": 1, "wall_s": 4.0},
+        222: {"chunks": 1, "wall_s": 6.0},
+    }
+
+
+def test_progress_meter_emits_lines():
+    lines = []
+    now = [0.0]
+    meter = ProgressMeter(2, 4, clock=lambda: now[0], emit=lines.append)
+    now[0] = 1.0
+    meter.chunk_done(2, elapsed=1.0, worker=1)
+    now[0] = 2.0
+    meter.chunk_done(2, elapsed=1.0, worker=1)
+    assert len(lines) == 2
+    assert lines[-1].startswith("[2/2 chunks] 4/4 items")
+
+
+def test_execution_metrics_flow_through(tmp_path):
+    plan = Plan("sq", square_worker, tuple(range(6)), chunk_size=2)
+    outcome = execute(plan, jobs=2)
+    assert outcome.metrics["chunks_done"] == 3
+    assert outcome.metrics["items_done"] == 6
+    assert outcome.metrics["workers"]  # at least one worker accounted
+
+
+# ---------------------------------------------------------------------------
+# picklability regressions (the engine's transport requirement)
+# ---------------------------------------------------------------------------
+def test_campaign_cell_and_result_round_trip_pickle():
+    from repro.faults.campaign import (ReferenceWorld, reference_cells,
+                                       run_cell)
+    from repro.units import ms
+
+    cell = reference_cells()[0]
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell and clone.params == cell.params
+    result = run_cell(ReferenceWorld, cell, ms(300))
+    copy = pickle.loads(pickle.dumps(result))
+    assert copy.cell == result.cell
+    assert copy.to_dict() == result.to_dict()
+
+
+def _can_layout(plan):
+    return (plan.bitrate_bps,
+            [(f.period, f.sender, f.ipdu.name, f.ipdu.size_bytes,
+              [(m.spec.name, m.spec.width_bits, m.start_bit, m.update_bit)
+               for m in f.ipdu.mappings])
+             for f in plan.frames],
+            [(s.name, s.can_id, s.dlc, s.period) for s in plan.frame_specs])
+
+
+def _flexray_layout(plan):
+    config = plan.config
+    return ((config.slot_length, config.n_static_slots,
+             config.minislot_length, config.n_minislots,
+             config.nit_length, config.bitrate_bps),
+            plan.nodes,
+            [(w.assignment.slot, w.assignment.node,
+              w.assignment.frame_name, w.assignment.base_cycle,
+              w.assignment.repetition, w.period, w.offset)
+             for w in plan.static_writers],
+            [(w.spec.name, w.spec.frame_id, w.spec.size_bytes, w.node,
+              w.period, w.offset) for w in plan.dynamic_writers])
+
+
+def test_generated_system_round_trips_pickle():
+    from repro.verify import generate
+
+    system = generate(7, "small")
+    clone = pickle.loads(pickle.dumps(system))
+    assert clone.name == system.name and clone.seed == system.seed
+    assert clone.tasksets == system.tasksets
+    assert clone.resources == system.resources
+    assert clone.critical_sections == system.critical_sections
+    assert clone.chain == system.chain
+    assert clone.tdma == system.tdma
+    # The CAN/FlexRay plans hold spec objects without __eq__; compare
+    # their full structural layout instead.
+    assert _can_layout(clone.can) == _can_layout(system.can)
+    assert _flexray_layout(clone.flexray) == _flexray_layout(system.flexray)

@@ -77,3 +77,32 @@ def test_acceptance_batch_of_25_systems_clean_and_deterministic():
 def test_medium_systems_also_verify_cleanly():
     report = verify_many(11, 5, "medium")
     assert report.passed
+
+
+def test_parallel_verification_matches_serial_digest():
+    serial = verify_many(7, 4)
+    parallel = verify_many(7, 4, jobs=2)
+    assert serial.passed and parallel.passed
+    assert serial.digest() == parallel.digest()
+    assert format_report(serial) == format_report(parallel)
+
+
+def test_report_digest_ignores_verdict_emission_order():
+    # Satellite regression: the digest is computed from the *sorted*
+    # per-system verdicts, so it survives any executor's completion
+    # order.
+    report = verify_many(7, 3)
+    report.verdicts.reverse()
+    assert report.digest() == verify_many(7, 3).digest()
+
+
+def test_interrupted_verification_resumes_to_identical_digest(tmp_path):
+    from repro.errors import ExecutionInterrupted
+
+    path = tmp_path / "verify.jsonl"
+    uninterrupted = verify_many(7, 4)
+    with pytest.raises(ExecutionInterrupted):
+        verify_many(7, 4, checkpoint=path, interrupt_after=2)
+    resumed = verify_many(7, 4, checkpoint=path, resume=True)
+    assert resumed.digest() == uninterrupted.digest()
+    assert resumed.passed
