@@ -13,7 +13,12 @@ or fails to recover; ``campaign --smoke`` runs a single cell for CI.
 ``--jobs N`` (process-pool fan-out; any N prints the identical report
 digest), ``--checkpoint PATH`` (JSONL journal of per-chunk results),
 ``--resume`` (skip journaled chunks after an interrupted run) and
-``--progress`` (live rate/ETA lines on stderr).
+``--progress`` (live rate/ETA lines on stderr) — plus the telemetry
+flags ``--metrics PATH`` (Prometheus text), ``--trace-out PATH``
+(Chrome trace-event JSON for ``chrome://tracing`` / Perfetto) and
+``--events PATH`` (JSONL event log).  ``stats`` summarizes any of those
+exported files: top spans by cumulative time, histogram percentiles,
+and the DLT error-event table.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ def info() -> int:
         ("repro.bsw", "modes, DEM, NVRAM, watchdog, NM, diag, gateway"),
         ("repro.dse", "allocation, priorities, consolidation"),
         ("repro.exec", "deterministic parallel sweeps + checkpointing"),
+        ("repro.obs", "telemetry: metrics, spans, DLT log, exporters"),
         ("repro.legacy", "CAN overlay middleware"),
     ]
     for module, description in subsystems:
@@ -136,10 +142,42 @@ def _make_progress(options, total_chunks: int, total_items: int):
                          emit=lambda line: print(line, file=sys.stderr))
 
 
+def _add_telemetry_arguments(parser) -> None:
+    """The telemetry export flags shared by `campaign` and `verify`."""
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write merged metrics as Prometheus text")
+    parser.add_argument("--trace-out", metavar="PATH", dest="trace_out",
+                        help="write spans + DLT events as Chrome "
+                             "trace-event JSON (chrome://tracing, "
+                             "Perfetto)")
+    parser.add_argument("--events", metavar="PATH",
+                        help="write the full telemetry as a JSONL "
+                             "event log")
+
+
+def _telemetry_wanted(options) -> bool:
+    return bool(options.metrics or options.trace_out or options.events)
+
+
+def _export_telemetry(options) -> None:
+    """Write the requested export files and print the telemetry digest
+    (deterministic: identical for any --jobs level)."""
+    from repro import obs
+
+    if options.metrics:
+        obs.write_prometheus(options.metrics)
+    if options.trace_out:
+        obs.write_chrome_trace(options.trace_out)
+    if options.events:
+        obs.write_events_jsonl(options.events)
+    print(f"telemetry digest: sha256:{obs.digest()}")
+
+
 def campaign(args: list[str]) -> int:
     """Run the reference fault campaign (the `campaign` subcommand)."""
     import argparse
 
+    from repro import obs
     from repro.analysis import format_robustness, robustness_report
     from repro.faults import ReferenceWorld, reference_cells, run_campaign
     from repro.units import ms
@@ -150,6 +188,7 @@ def campaign(args: list[str]) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run a single corruption cell (CI gate)")
     _add_exec_arguments(parser)
+    _add_telemetry_arguments(parser)
     options = parser.parse_args(args)
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
@@ -157,10 +196,18 @@ def campaign(args: list[str]) -> int:
     cells = reference_cells()
     if options.smoke:
         cells = cells[:1]  # one corruption cell: fast CI regression gate
-    report = run_campaign(
-        ReferenceWorld, cells, horizon=ms(300), jobs=options.jobs,
-        checkpoint=options.checkpoint, resume=options.resume,
-        progress=_make_progress(options, len(cells), len(cells)))
+    telemetry = _telemetry_wanted(options)
+    if telemetry:
+        obs.reset()
+        obs.enable()
+    try:
+        report = run_campaign(
+            ReferenceWorld, cells, horizon=ms(300), jobs=options.jobs,
+            checkpoint=options.checkpoint, resume=options.resume,
+            progress=_make_progress(options, len(cells), len(cells)))
+    finally:
+        if telemetry:
+            obs.disable()
     print(f"fault campaign: {report.cells} cell(s), horizon 300 ms")
     for result in report.results:
         status = "DETECTED" if result.detected else "UNDETECTED"
@@ -170,6 +217,8 @@ def campaign(args: list[str]) -> int:
               f"recovered={result.recovered}")
     print(format_robustness(robustness_report(report)))
     print(f"report digest: sha256:{report.digest()}")
+    if telemetry:
+        _export_telemetry(options)
     corrupted = sum(r.extra.get("undetected_corrupted", 0)
                     for r in report.results)
     healthy = (report.detection_rate == 1.0
@@ -188,6 +237,7 @@ def verify(args: list[str]) -> int:
     invariant violation."""
     import argparse
 
+    from repro import obs
     from repro.verify import SIZES, format_report, verify_many
 
     parser = argparse.ArgumentParser(
@@ -197,16 +247,50 @@ def verify(args: list[str]) -> int:
     parser.add_argument("--systems", type=int, default=25)
     parser.add_argument("--size", choices=sorted(SIZES), default="small")
     _add_exec_arguments(parser)
+    _add_telemetry_arguments(parser)
     options = parser.parse_args(args)
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
-    report = verify_many(
-        options.seed, options.systems, options.size, jobs=options.jobs,
-        checkpoint=options.checkpoint, resume=options.resume,
-        progress=_make_progress(options, options.systems,
-                                options.systems))
+    telemetry = _telemetry_wanted(options)
+    if telemetry:
+        obs.reset()
+        obs.enable()
+    try:
+        report = verify_many(
+            options.seed, options.systems, options.size,
+            jobs=options.jobs, checkpoint=options.checkpoint,
+            resume=options.resume,
+            progress=_make_progress(options, options.systems,
+                                    options.systems))
+    finally:
+        if telemetry:
+            obs.disable()
     print(format_report(report))
+    if telemetry:
+        _export_telemetry(options)
     return 0 if report.passed else 1
+
+
+def stats(args: list[str]) -> int:
+    """Summarize exported telemetry files (the `stats` subcommand):
+    top spans by cumulative time, histogram percentiles, and the DLT
+    error-event table.  Input format (Prometheus text, Chrome trace
+    JSON, JSONL event log) is autodetected per file."""
+    import argparse
+
+    from repro.obs.stats import summarize_paths
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="summarize exported telemetry files")
+    parser.add_argument("paths", nargs="+", metavar="PATH",
+                        help="files written by --metrics / --trace-out "
+                             "/ --events")
+    parser.add_argument("--top", type=int, default=10,
+                        help="span table rows (default 10)")
+    options = parser.parse_args(args)
+    print(summarize_paths(options.paths, options.top))
+    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -220,8 +304,10 @@ def main(argv: list[str]) -> int:
         return campaign(argv[2:])
     if command == "verify":
         return verify(argv[2:])
+    if command == "stats":
+        return stats(argv[2:])
     print(f"unknown command {command!r}; "
-          f"use 'info', 'selftest', 'campaign' or 'verify'")
+          f"use 'info', 'selftest', 'campaign', 'verify' or 'stats'")
     return 2
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.analysis import can_rta, rta
 from repro.analysis.sensitivity import replace_spec
@@ -126,6 +127,13 @@ class HolisticModel:
     def solve(self, max_iterations: int = MAX_ITERATIONS
               ) -> HolisticResult:
         """Iterate per-resource analyses to the jitter fixpoint."""
+        with obs.span("holistic.solve", category="analysis"):
+            result = self._solve(max_iterations)
+        obs.count("holistic.rounds", result.iterations)
+        obs.count("holistic.solves")
+        return result
+
+    def _solve(self, max_iterations: int) -> HolisticResult:
         jitter: dict[str, int] = {
             name: (self._tasks[name][1].jitter if name in self._tasks
                    else self._frames[name].jitter)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.osek.resource import OsekResource
 from repro.osek.task import TaskSpec
@@ -88,7 +89,7 @@ def response_time(task: TaskSpec, tasks: list[TaskSpec],
                 f"task {t.name}: interfering task needs a period")
     ceiling = task.period
     w = task.wcet + blocking
-    for __ in range(MAX_ITERATIONS):
+    for iteration in range(1, MAX_ITERATIONS + 1):
         interference = sum(
             -(-(w + t.jitter) // t.period) * t.wcet for t in higher)
         w_next = task.wcet + blocking + interference
@@ -98,6 +99,8 @@ def response_time(task: TaskSpec, tasks: list[TaskSpec],
                 f"({w_next} > {ceiling}); the task set is unschedulable "
                 f"at this priority or needs busy-period analysis")
         if w_next == w:
+            obs.count("rta.fixpoint_iterations", iteration)
+            obs.count("rta.tasks_analyzed")
             return w + task.jitter
         w = w_next
     raise AnalysisError(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 
@@ -45,6 +46,11 @@ class ErrorEvent:
     confirmed: bool = False
     occurrences: int = 0
     freeze_frame: Optional[dict] = None
+    #: manager-wide sequence number of this event's latest state change
+    #: (confirm, heal, or freeze-frame refresh) — lets report consumers
+    #: order events across snapshots even when refreshes share a
+    #: timestamp.
+    last_seq: int = 0
 
     def __post_init__(self):
         if self.threshold <= 0 or self.fail_step <= 0 or self.pass_step <= 0:
@@ -62,6 +68,12 @@ class ErrorManager:
         self._now = now if now is not None else (lambda: 0)
         self._events: dict[str, ErrorEvent] = {}
         self._listeners: list[Callable[[ErrorEvent, bool], None]] = []
+        #: monotonically increasing across *all* events of this manager.
+        self._seq = 0
+
+    def _bump_seq(self, event: ErrorEvent) -> None:
+        self._seq += 1
+        event.last_seq = self._seq
 
     def register(self, event: ErrorEvent) -> ErrorEvent:
         """Declare a monitored error event; returns it for convenience."""
@@ -93,6 +105,7 @@ class ErrorManager:
                 # context (the first confirm's snapshot alone would hide
                 # how the failure evolved).
                 self._stamp_freeze_frame(event, context)
+                self._bump_seq(event)
         elif status == PASSED:
             event.counter = max(0, event.counter - event.pass_step)
         else:
@@ -101,13 +114,20 @@ class ErrorManager:
             event.confirmed = True
             event.occurrences += 1
             self._stamp_freeze_frame(event, context)
+            self._bump_seq(event)
             self.trace.log(self._now(), "dem.confirmed", name,
                            dtc=event.dtc)
+            obs.dlt(self._now(), obs.ERROR, self.node, "DEM", name,
+                    "dem.confirmed", dtc=event.dtc,
+                    severity_level=event.severity, seq=event.last_seq)
             for listener in self._listeners:
                 listener(event, True)
         elif event.confirmed and event.counter <= 0:
             event.confirmed = False
+            self._bump_seq(event)
             self.trace.log(self._now(), "dem.healed", name, dtc=event.dtc)
+            obs.dlt(self._now(), obs.INFO, self.node, "DEM", name,
+                    "dem.healed", dtc=event.dtc, seq=event.last_seq)
             for listener in self._listeners:
                 listener(event, False)
 
@@ -127,8 +147,12 @@ class ErrorManager:
         """Per-event debounce/confirmation state, for reports.
 
         Returns ``{event name: {dtc, severity, counter, confirmed,
-        occurrences, freeze_frame}}`` — the campaign runner's view of
-        what the error manager saw during a cell.
+        occurrences, seq, freeze_frame}}`` — the campaign runner's view
+        of what the error manager saw during a cell.  ``seq`` is the
+        manager-wide monotonic sequence number of the event's latest
+        state change (confirm, heal, or freeze-frame refresh): it
+        strictly increases across refreshes, so consecutive snapshots
+        can be ordered even when the simulated timestamps coincide.
         """
         return {
             name: {
@@ -137,6 +161,7 @@ class ErrorManager:
                 "counter": e.counter,
                 "confirmed": e.confirmed,
                 "occurrences": e.occurrences,
+                "seq": e.last_seq,
                 "freeze_frame": dict(e.freeze_frame)
                 if e.freeze_frame else None,
             }

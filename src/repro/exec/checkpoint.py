@@ -47,6 +47,9 @@ class JournalState:
     """Replay of a journal: what is already done, what must re-run."""
 
     completed: dict = field(default_factory=dict)  # chunk index -> results
+    #: chunk index -> telemetry snapshot (only for journals written
+    #: with telemetry collection enabled).
+    telemetry: dict = field(default_factory=dict)
     in_flight: set = field(default_factory=set)
     failed: set = field(default_factory=set)
 
@@ -80,10 +83,18 @@ class Journal:
         self._write({"type": "start", "chunk": chunk_index})
 
     def record_done(self, chunk_index: int, results: list,
-                    elapsed: float, worker: int) -> None:
-        self._write({"type": "done", "chunk": chunk_index,
-                     "payload": _encode_payload(results),
-                     "elapsed": round(elapsed, 6), "worker": worker})
+                    elapsed: float, worker: int,
+                    telemetry: Optional[dict] = None) -> None:
+        record = {"type": "done", "chunk": chunk_index,
+                  "payload": _encode_payload(results),
+                  "elapsed": round(elapsed, 6), "worker": worker}
+        if telemetry is not None:
+            # Journaled alongside the results so a resumed run can
+            # re-merge the skipped chunks' telemetry in plan order and
+            # keep the telemetry digest identical to an uninterrupted
+            # run (same guarantee as the result digest).
+            record["telemetry"] = telemetry
+        self._write(record)
 
     def record_failed(self, chunk_index: int, error: str,
                       attempts: int) -> None:
@@ -133,6 +144,8 @@ class Journal:
                 state.in_flight.add(index)
             elif kind == "done":
                 state.completed[index] = _decode_payload(record["payload"])
+                if "telemetry" in record:
+                    state.telemetry[index] = record["telemetry"]
                 state.in_flight.discard(index)
                 state.failed.discard(index)
             elif kind == "failed":

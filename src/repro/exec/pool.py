@@ -30,6 +30,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, \
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.errors import ExecutionError, ExecutionInterrupted
 from repro.exec.checkpoint import Journal
 from repro.exec.plan import Plan
@@ -37,13 +38,29 @@ from repro.exec.progress import ProgressMeter
 from repro.exec.shard import Chunk
 
 
-def _run_chunk(worker, chunk: Chunk) -> tuple[list, int, float]:
-    """Worker-side chunk body: run every item with its derived seed."""
+def _run_chunk(worker, chunk: Chunk, collect: bool = False
+               ) -> tuple[list, Optional[dict], int, float]:
+    """Worker-side chunk body: run every item with its derived seed.
+
+    With ``collect=True`` the chunk runs inside a fresh telemetry
+    capture scope (identical whether this executes in-process or in a
+    worker), and the captured snapshot travels back with the results so
+    the parent can merge all chunks in plan order.
+    """
     import os
     started = time.perf_counter()
-    results = [worker(item, seed)
-               for item, seed in zip(chunk.items, chunk.seeds)]
-    return results, os.getpid(), time.perf_counter() - started
+    if collect:
+        with obs.capture() as telemetry:
+            with obs.span("exec.chunk", category="exec",
+                          index=chunk.index, items=chunk.size):
+                results = [worker(item, seed)
+                           for item, seed in zip(chunk.items, chunk.seeds)]
+        snapshot = telemetry.snapshot()
+    else:
+        results = [worker(item, seed)
+                   for item, seed in zip(chunk.items, chunk.seeds)]
+        snapshot = None
+    return results, snapshot, os.getpid(), time.perf_counter() - started
 
 
 @dataclass
@@ -57,6 +74,10 @@ class ExecutionResult:
     metrics: dict = field(default_factory=dict)
     chunks_resumed: int = 0
     chunks_executed: int = 0
+    #: items recovered from the journal vs freshly run (resumed cells
+    #: are *not* throughput — the progress meter reports them apart).
+    items_resumed: int = 0
+    items_executed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -83,7 +104,8 @@ class _NullJournal:
     def record_start(self, index):
         pass
 
-    def record_done(self, index, results, elapsed, worker):
+    def record_done(self, index, results, elapsed, worker,
+                    telemetry=None):
         pass
 
     def record_failed(self, index, error, attempts):
@@ -120,12 +142,19 @@ def execute(plan: Plan, jobs: int = 1, retries: int = 1,
     chunks = plan.chunks()
     journal = Journal(checkpoint) if checkpoint is not None \
         else _NullJournal()
+    #: collect telemetry per chunk when the caller has obs enabled —
+    #: decided here once so workers behave identically under any pool
+    #: start method (the flag travels with the submit call).
+    collect = obs.enabled()
 
     completed: dict[int, list] = {}
+    telemetry_by_chunk: dict[int, dict] = {}
     chunks_resumed = 0
     if resume:
         state = journal.load(plan)
         completed = dict(state.completed)
+        if collect:
+            telemetry_by_chunk.update(state.telemetry)
         chunks_resumed = len(completed)
         journal.reopen()
     else:
@@ -134,19 +163,22 @@ def execute(plan: Plan, jobs: int = 1, retries: int = 1,
     meter = progress if progress is not None \
         else ProgressMeter(len(chunks), plan.n_items)
     for index in sorted(completed):
-        meter.chunk_skipped(len(completed[index]))
+        meter.chunk_resumed(len(completed[index]))
 
     pending = [chunk for chunk in chunks if chunk.index not in completed]
     failures: dict[int, str] = {}
     attempts: dict[int, int] = {}
     done_this_run = 0
 
-    def note_done(chunk: Chunk, results: list, worker: int,
-                  elapsed: float) -> bool:
+    def note_done(chunk: Chunk, results: list, telemetry: Optional[dict],
+                  worker: int, elapsed: float) -> bool:
         """Record a completion; True when the interrupt budget is hit."""
         nonlocal done_this_run
         completed[chunk.index] = results
-        journal.record_done(chunk.index, results, elapsed, worker)
+        if telemetry is not None:
+            telemetry_by_chunk[chunk.index] = telemetry
+        journal.record_done(chunk.index, results, elapsed, worker,
+                            telemetry)
         meter.chunk_done(chunk.size, elapsed, worker)
         done_this_run += 1
         return interrupt_after is not None \
@@ -166,19 +198,26 @@ def execute(plan: Plan, jobs: int = 1, retries: int = 1,
 
     try:
         if jobs == 1:
-            _serial(plan, pending, journal, note_done, note_failure)
+            _serial(plan, pending, collect, journal, note_done,
+                    note_failure)
         else:
-            _parallel(plan, pending, jobs, journal, note_done, note_failure)
+            _parallel(plan, pending, jobs, collect, journal, note_done,
+                      note_failure)
     finally:
         journal.close()
 
     merged = [result for index in sorted(completed)
               for result in completed[index]]
+    # Telemetry merges exactly like results: by chunk index, never by
+    # completion order — jobs=1 and jobs=N yield identical digests.
+    for index in sorted(telemetry_by_chunk):
+        obs.merge_snapshot(telemetry_by_chunk[index])
     return ExecutionResult(plan.label, merged, failures, meter.snapshot(),
-                           chunks_resumed, len(completed) - chunks_resumed)
+                           chunks_resumed, len(completed) - chunks_resumed,
+                           meter.items_resumed, meter.items_done)
 
 
-def _serial(plan: Plan, pending: list, journal, note_done,
+def _serial(plan: Plan, pending: list, collect: bool, journal, note_done,
             note_failure) -> None:
     """In-process execution: same journal/merge path as the pool."""
     queue = sorted(pending, key=lambda c: c.index)
@@ -186,19 +225,20 @@ def _serial(plan: Plan, pending: list, journal, note_done,
         chunk = queue.pop(0)
         journal.record_start(chunk.index)
         try:
-            results, worker, elapsed = _run_chunk(plan.worker, chunk)
+            results, telemetry, worker, elapsed = _run_chunk(
+                plan.worker, chunk, collect)
         except Exception as error:
             if note_failure(chunk, error):
                 queue.insert(0, chunk)
             continue
-        if note_done(chunk, results, worker, elapsed):
+        if note_done(chunk, results, telemetry, worker, elapsed):
             raise ExecutionInterrupted(
                 f"plan {plan.label!r}: interrupted with "
                 f"{len(queue)} chunk(s) outstanding")
 
 
-def _parallel(plan: Plan, pending: list, jobs: int, journal,
-              note_done, note_failure) -> None:
+def _parallel(plan: Plan, pending: list, jobs: int, collect: bool,
+              journal, note_done, note_failure) -> None:
     """Round-based pool execution with crash isolation."""
     queue = sorted(pending, key=lambda c: c.index)
     while queue:
@@ -207,14 +247,15 @@ def _parallel(plan: Plan, pending: list, jobs: int, journal,
         futures = {}
         for chunk in batch:
             journal.record_start(chunk.index)
-            futures[pool.submit(_run_chunk, plan.worker, chunk)] = chunk
+            futures[pool.submit(_run_chunk, plan.worker, chunk,
+                                collect)] = chunk
         unresolved = {chunk.index: chunk for chunk in batch}
         interrupted = broken = False
         try:
             for future in as_completed(futures):
                 chunk = futures[future]
                 try:
-                    results, worker, elapsed = future.result()
+                    results, telemetry, worker, elapsed = future.result()
                 except BrokenExecutor:
                     # A worker died; attribution is impossible from the
                     # shared pool — resolve the leftovers in isolation.
@@ -226,7 +267,7 @@ def _parallel(plan: Plan, pending: list, jobs: int, journal,
                         queue.append(chunk)
                     continue
                 unresolved.pop(chunk.index, None)
-                if note_done(chunk, results, worker, elapsed):
+                if note_done(chunk, results, telemetry, worker, elapsed):
                     interrupted = True
                     break
         finally:
@@ -238,7 +279,7 @@ def _parallel(plan: Plan, pending: list, jobs: int, journal,
                 f"{len(queue) + len(unresolved)} chunk(s) outstanding")
         if broken:
             for index in sorted(unresolved):
-                if _run_isolated(plan, unresolved[index], journal,
+                if _run_isolated(plan, unresolved[index], collect, journal,
                                  note_done, note_failure):
                     raise ExecutionInterrupted(
                         f"plan {plan.label!r}: interrupted during "
@@ -246,20 +287,20 @@ def _parallel(plan: Plan, pending: list, jobs: int, journal,
         queue.sort(key=lambda c: c.index)
 
 
-def _run_isolated(plan: Plan, chunk: Chunk, journal, note_done,
-                  note_failure) -> bool:
+def _run_isolated(plan: Plan, chunk: Chunk, collect: bool, journal,
+                  note_done, note_failure) -> bool:
     """Run one chunk alone in a single-worker pool until it succeeds or
     exhausts its retry budget; returns True on interrupt-budget hit."""
     while True:
         journal.record_start(chunk.index)
         pool = ProcessPoolExecutor(max_workers=1)
         try:
-            future = pool.submit(_run_chunk, plan.worker, chunk)
-            results, worker, elapsed = future.result()
+            future = pool.submit(_run_chunk, plan.worker, chunk, collect)
+            results, telemetry, worker, elapsed = future.result()
         except Exception as error:
             if note_failure(chunk, error):
                 continue
             return False
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
-        return note_done(chunk, results, worker, elapsed)
+        return note_done(chunk, results, telemetry, worker, elapsed)

@@ -32,18 +32,28 @@ class ProgressMeter:
         self._started_at = clock()
         self.chunks_done = 0
         self.chunks_failed = 0
-        self.chunks_skipped = 0
+        self.chunks_resumed = 0
         self.items_done = 0
-        self.items_skipped = 0
+        self.items_resumed = 0
         #: worker pid -> accumulated wall time over its completed chunks.
         self.worker_wall: dict[int, float] = {}
         self.worker_chunks: dict[int, int] = {}
 
     # -- events reported by the pool -----------------------------------
-    def chunk_skipped(self, items: int) -> None:
-        """A chunk recovered from the journal (resume) — not re-run."""
-        self.chunks_skipped += 1
-        self.items_skipped += items
+    def chunk_resumed(self, items: int) -> None:
+        """A chunk recovered from the journal (resume) — not re-run.
+
+        Resumed cells are recovered work, not throughput: they are kept
+        out of :attr:`items_per_second` and :attr:`eta_seconds` (which
+        describe *this* run) and reported as their own numbers, so a
+        resumed campaign shows an honest rate instead of one inflated by
+        journal replay.
+        """
+        self.chunks_resumed += 1
+        self.items_resumed += items
+
+    # Backwards-compatible alias for the pre-rename event name.
+    chunk_skipped = chunk_resumed
 
     def chunk_done(self, items: int, elapsed: float, worker: int) -> None:
         self.chunks_done += 1
@@ -66,7 +76,7 @@ class ProgressMeter:
 
     @property
     def items_per_second(self) -> Optional[float]:
-        """Realised throughput of this run (skipped chunks excluded)."""
+        """Realised throughput of this run (resumed chunks excluded)."""
         if self.items_done == 0 or self.elapsed <= 0:
             return None
         return self.items_done / self.elapsed
@@ -77,7 +87,7 @@ class ProgressMeter:
         rate = self.items_per_second
         if rate is None:
             return None
-        remaining = self.total_items - self.items_done - self.items_skipped
+        remaining = self.total_items - self.items_done - self.items_resumed
         return max(0.0, remaining / rate)
 
     def snapshot(self) -> dict:
@@ -87,11 +97,11 @@ class ProgressMeter:
         return {
             "chunks_total": self.total_chunks,
             "chunks_done": self.chunks_done,
-            "chunks_skipped": self.chunks_skipped,
+            "chunks_resumed": self.chunks_resumed,
             "chunks_failed": self.chunks_failed,
             "items_total": self.total_items,
             "items_done": self.items_done,
-            "items_skipped": self.items_skipped,
+            "items_resumed": self.items_resumed,
             "elapsed_s": round(self.elapsed, 6),
             "items_per_s": None if rate is None else round(rate, 3),
             "eta_s": None if eta is None else round(eta, 3),
@@ -104,12 +114,14 @@ class ProgressMeter:
 
     def format_line(self) -> str:
         """One-line human-readable status (for live ``emit`` output)."""
-        finished = self.chunks_done + self.chunks_skipped + self.chunks_failed
+        finished = self.chunks_done + self.chunks_resumed + self.chunks_failed
         rate = self.items_per_second
         eta = self.eta_seconds
         parts = [f"[{finished}/{self.total_chunks} chunks]",
-                 f"{self.items_done + self.items_skipped}"
+                 f"{self.items_done + self.items_resumed}"
                  f"/{self.total_items} items"]
+        if self.items_resumed:
+            parts.append(f"({self.items_resumed} resumed)")
         if rate is not None:
             parts.append(f"{rate:.1f} items/s")
         if eta is not None:

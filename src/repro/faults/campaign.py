@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.faults.model import Fault
 from repro.faults.monitor import containment_violations
@@ -254,15 +255,33 @@ def _make_world(factory: Callable[..., CampaignWorld],
 def run_cell(factory: Callable[..., CampaignWorld], cell: CampaignCell,
              horizon: int, seed: Optional[int] = None) -> CellResult:
     """Run one cell: fresh world, one fault, measure, tear down."""
-    world = _make_world(factory, seed)
-    if cell.end is not None and cell.end >= horizon:
-        raise ConfigurationError(
-            f"cell {cell.label}: fault window must close before the "
-            f"horizon {horizon} to measure recovery")
-    adapter = world.adapter_for(cell)
-    world.injector.inject(adapter, cell.fault())
-    world.sim.run_until(horizon)
-    return _evaluate(world, cell, horizon)
+    with obs.span("campaign.cell", category="campaign", kind=cell.kind,
+                  target=cell.target, onset=cell.onset):
+        world = _make_world(factory, seed)
+        if cell.end is not None and cell.end >= horizon:
+            raise ConfigurationError(
+                f"cell {cell.label}: fault window must close before the "
+                f"horizon {horizon} to measure recovery")
+        adapter = world.adapter_for(cell)
+        world.injector.inject(adapter, cell.fault())
+        world.sim.run_until(horizon)
+        result = _evaluate(world, cell, horizon)
+    if obs.enabled():
+        obs.count("campaign.cells")
+        obs.count(f"campaign.detected_by.{result.detection_source}"
+                  if result.detected else "campaign.undetected")
+        if result.detection_latency is not None:
+            obs.observe("campaign.detection_latency_ns",
+                        result.detection_latency)
+        if result.recovery_latency is not None:
+            obs.observe("campaign.recovery_latency_ns",
+                        result.recovery_latency)
+        # DEM events were already DLT-logged live by the ErrorManager;
+        # harvest the remaining BSW categories (watchdog, recovery,
+        # mode, E2E, COM) from the cell's trace without double-counting.
+        obs.harvest_trace(
+            (r for r in world.trace if not r.category.startswith("dem.")))
+    return result
 
 
 def _cell_worker(factory, horizon: int, cell: CampaignCell,

@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.network.message import Message
 from repro.sim.kernel import Simulator
@@ -220,6 +221,7 @@ class CanBus:
             return
         __, __, winner = min(contenders)
         can_id, __, spec, msg = winner._pop_head()
+        obs.count("can.arbitrations")
         self._transmit(winner, spec, msg)
 
     def _transmit(self, controller: CanController, spec: CanFrameSpec,
@@ -231,6 +233,7 @@ class CanBus:
                      and self.error_model(spec, msg))
         if corrupted:
             self.error_count += 1
+            obs.count("can.error_frames")
             recovery = ERROR_FRAME_BITS * self.bit_time
             self.trace.log(now, "can.error", spec.name,
                            node=controller.node, bus=self.name)
@@ -254,6 +257,11 @@ class CanBus:
         msg.rx_time = now
         controller.tx_count += 1
         self.frames_delivered += 1
+        obs.count("can.frames_delivered")
+        if obs.enabled() and msg.latency is not None:
+            # Frame latency is simulated time — deterministic by
+            # construction, so it participates in the telemetry digest.
+            obs.observe("can.frame_latency_ns", msg.latency)
         self.trace.log(now, "can.rx", spec.name, node=controller.node,
                        latency=msg.latency, bus=self.name)
         for node, peer in self.controllers.items():

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError, ProtocolError
 from repro.network.message import Message
 from repro.sim.kernel import Simulator
@@ -252,6 +253,7 @@ class FlexRayBus:
         msg.tx_start = now - self.config.slot_length
         msg.rx_time = now
         controller.tx_count += 1
+        obs.count("flexray.static_tx")
         self.trace.log(now, "flexray.rx", assignment.frame_name,
                        node=assignment.node, slot=assignment.slot,
                        latency=msg.latency)
@@ -302,6 +304,7 @@ class FlexRayBus:
         msg.rx_time = now
         controller = self.controllers[msg.sender]
         controller.tx_count += 1
+        obs.count("flexray.dynamic_tx")
         self.trace.log(now, "flexray.rx_dynamic", spec.name, node=msg.sender,
                        frame_id=spec.frame_id, latency=msg.latency)
         for node, peer in self.controllers.items():

@@ -1,0 +1,220 @@
+"""Summaries of exported telemetry — the engine behind ``repro stats``.
+
+Takes the files the exporters produce (Prometheus text, Chrome
+trace-event JSON, JSONL event log), autodetects which is which, and
+renders the operational one-look tables: top spans by cumulative time,
+histogram percentiles, and the DLT error-event table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import (events_from_jsonl, parse_prometheus_text,
+                                 validate_chrome_trace)
+from repro.obs.registry import Histogram, MetricsRegistry
+
+PROM = "prometheus"
+CHROME = "chrome-trace"
+JSONL = "events-jsonl"
+
+
+def sniff(text: str) -> str:
+    """Classify an exported file by content, not by extension."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return CHROME
+    first = stripped.splitlines()[0] if stripped else ""
+    if first.startswith("# TYPE") or first.startswith("repro_"):
+        return PROM
+    if first.startswith("{") or (first and first[0] in "[{"):
+        return JSONL
+    if '"type"' in first:
+        return JSONL
+    raise ConfigurationError("unrecognized telemetry file format")
+
+
+def load(text: str) -> tuple[str, object]:
+    """Parse an exported file; returns ``(kind, parsed)``."""
+    stripped = text.lstrip()
+    if stripped.startswith("{") and "\n{" in stripped.strip():
+        return JSONL, events_from_jsonl(text)
+    if stripped.startswith("{"):
+        parsed = json.loads(text)
+        if "traceEvents" in parsed:
+            return CHROME, parsed
+        raise ConfigurationError(
+            "JSON telemetry file lacks 'traceEvents'")
+    kind = sniff(text)
+    if kind == PROM:
+        return PROM, parse_prometheus_text(text)
+    return JSONL, events_from_jsonl(text)
+
+
+# ----------------------------------------------------------------------
+# Aggregations
+# ----------------------------------------------------------------------
+def top_spans(rows: list[dict], top: int = 10) -> list[dict]:
+    """Aggregate span rows by name: count / cumulative / mean / max.
+
+    Accepts either JSONL span events (``duration_ns``) or Chrome trace
+    ``X`` events (``dur`` in microseconds).
+    """
+    totals: dict[str, dict] = {}
+    for row in rows:
+        if "duration_ns" in row:
+            name, duration = row["name"], row["duration_ns"]
+        elif row.get("ph") == "X":
+            name, duration = row["name"], row["dur"] * 1000.0
+        else:
+            continue
+        entry = totals.setdefault(name, {"count": 0, "total_ns": 0.0,
+                                         "max_ns": 0.0})
+        entry["count"] += 1
+        entry["total_ns"] += duration
+        entry["max_ns"] = max(entry["max_ns"], duration)
+    ranked = sorted(totals.items(),
+                    key=lambda item: (-item[1]["total_ns"], item[0]))
+    return [{"name": name, "count": entry["count"],
+             "total_ms": entry["total_ns"] / 1e6,
+             "mean_us": entry["total_ns"] / entry["count"] / 1e3,
+             "max_us": entry["max_ns"] / 1e3}
+            for name, entry in ranked[:top]]
+
+
+def histogram_rows(histograms: dict[str, dict]) -> list[dict]:
+    """Percentile table rows from snapshot-shaped histogram payloads."""
+    rows = []
+    for name, payload in sorted(histograms.items()):
+        if payload["count"] == 0:
+            continue
+        scratch = MetricsRegistry()
+        histogram: Histogram = scratch.histogram(name, payload["buckets"])
+        histogram.counts = list(payload["counts"])
+        histogram.count = payload["count"]
+        histogram.sum = payload["sum"]
+        histogram.min = payload.get("min")
+        histogram.max = payload.get("max")
+        rows.append({
+            "name": name, "count": payload["count"],
+            "p50": histogram.percentile(0.50),
+            "p90": histogram.percentile(0.90),
+            "p99": histogram.percentile(0.99),
+            "max": payload.get("max"),
+        })
+    return rows
+
+
+def dlt_table(rows: list[dict]) -> list[dict]:
+    """Error-event table: one row per (severity, app, context)."""
+    grouped: dict[tuple, dict] = {}
+    for row in rows:
+        if row.get("type") not in (None, "dlt") and "severity" not in row:
+            continue
+        if "severity" not in row:
+            continue
+        key = (row["severity"], row.get("app_id", "?"),
+               row.get("context_id", "?"))
+        entry = grouped.setdefault(key, {"count": 0, "first_seq": None,
+                                         "last_seq": None,
+                                         "last_time": None})
+        entry["count"] += 1
+        seq = row.get("seq")
+        if seq is not None:
+            entry["first_seq"] = seq if entry["first_seq"] is None \
+                else min(entry["first_seq"], seq)
+            entry["last_seq"] = seq if entry["last_seq"] is None \
+                else max(entry["last_seq"], seq)
+        entry["last_time"] = row.get("timestamp", entry["last_time"])
+    severity_rank = {"fatal": 0, "error": 1, "warn": 2, "info": 3,
+                     "debug": 4}
+    ordered = sorted(grouped.items(),
+                     key=lambda item: (severity_rank.get(item[0][0], 9),
+                                       item[0]))
+    return [{"severity": severity, "app": app, "context": context,
+             **entry}
+            for (severity, app, context), entry in ordered]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _render_table(title: str, rows: list[dict],
+                  columns: list[str]) -> list[str]:
+    lines = [title]
+    if not rows:
+        lines.append("  (empty)")
+        return lines
+    widths = {col: max(len(col), *(len(_format_value(row.get(col)))
+                                   for row in rows))
+              for col in columns}
+    lines.append("  " + "  ".join(col.ljust(widths[col])
+                                  for col in columns))
+    for row in rows:
+        lines.append("  " + "  ".join(
+            _format_value(row.get(col)).ljust(widths[col])
+            for col in columns))
+    return lines
+
+
+def summarize_file(text: str, top: int = 10) -> str:
+    """Render the summary for one exported telemetry file."""
+    kind, parsed = load(text)
+    lines: list[str] = []
+    if kind == PROM:
+        counters = [{"name": name, "value": value}
+                    for name, value in sorted(parsed["counters"].items())]
+        lines += _render_table("counters:", counters, ["name", "value"])
+        lines.append("")
+        lines += _render_table(
+            "histogram percentiles:", histogram_rows(parsed["histograms"]),
+            ["name", "count", "p50", "p90", "p99", "max"])
+    elif kind == CHROME:
+        problems = validate_chrome_trace(parsed)
+        if problems:
+            raise ConfigurationError(
+                f"invalid Chrome trace: {problems[0]}")
+        lines += _render_table(
+            f"top {top} spans by cumulative time:",
+            top_spans(parsed["traceEvents"], top),
+            ["name", "count", "total_ms", "mean_us", "max_us"])
+    else:  # JSONL
+        events = parsed
+        spans = [row for row in events if row.get("type") == "span"]
+        dlt_rows = [row for row in events if row.get("type") == "dlt"]
+        histograms = {row["name"]: row for row in events
+                      if row.get("type") == "histogram"}
+        lines += _render_table(
+            f"top {top} spans by cumulative time:", top_spans(spans, top),
+            ["name", "count", "total_ms", "mean_us", "max_us"])
+        lines.append("")
+        lines += _render_table(
+            "histogram percentiles:", histogram_rows(histograms),
+            ["name", "count", "p50", "p90", "p99", "max"])
+        lines.append("")
+        lines += _render_table(
+            "DLT events:", dlt_table(dlt_rows),
+            ["severity", "app", "context", "count", "first_seq",
+             "last_seq"])
+    return "\n".join(lines)
+
+
+def summarize_paths(paths: list[str], top: int = 10) -> str:
+    """Summaries for several exported files, labelled per file."""
+    sections = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        sections.append(f"== {path} ==")
+        sections.append(summarize_file(text, top))
+    return "\n".join(sections)

@@ -16,6 +16,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 
 
@@ -114,6 +115,11 @@ class Simulator:
             raise SimulationError(
                 f"horizon {horizon} is before now={self.now}")
         self._stopped = False
+        # Telemetry is deliberately coarse here: one counter update per
+        # run_until call (the executed-event delta), not per event — the
+        # kernel loop is the hottest path in the repo and must not pay a
+        # per-event flag check.
+        executed_before = self.executed
         while self._queue and not self._stopped:
             head = self._queue[0]
             if head.cancelled:
@@ -124,6 +130,8 @@ class Simulator:
             self.step()
         if not self._stopped:
             self.now = horizon
+        if self.executed != executed_before:
+            obs.count("sim.events", self.executed - executed_before)
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire).
@@ -137,6 +145,8 @@ class Simulator:
             count += 1
             if max_events is not None and count >= max_events:
                 break
+        if count:
+            obs.count("sim.events", count)
         return count
 
     def stop(self) -> None:

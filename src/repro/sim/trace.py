@@ -9,8 +9,11 @@ compared with the same vocabulary.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -33,15 +36,45 @@ class Record:
 
 
 class Trace:
-    """Append-only record store with simple query helpers."""
+    """Append-only record store with simple query helpers.
 
-    def __init__(self):
+    By default the trace grows without bound — every record of a run is
+    queryable, which is what the verification oracle and the invariants
+    need.  Long soak simulations can instead cap memory with
+    ``max_records``: when the trace exceeds the cap, the oldest quarter
+    (plus any excess) is evicted, optionally handed to a ``spill``
+    callback first (e.g. :func:`jsonl_spill` to stream records to disk).
+    Queries then see only the retained tail; :attr:`spilled` counts what
+    was evicted.  With both parameters at their defaults the behaviour
+    is exactly the historical unbounded one.
+    """
+
+    def __init__(self, max_records: Optional[int] = None,
+                 spill: Optional[Callable[[list["Record"]], None]] = None):
+        if max_records is not None and max_records < 4:
+            raise ConfigurationError(
+                f"max_records must be >= 4, got {max_records}")
         self._records: list[Record] = []
+        self._max_records = max_records
+        self._spill = spill
+        #: number of records evicted by the bound (0 in unbounded mode).
+        self.spilled = 0
 
     def log(self, time: int, category: str, subject: str, **data: Any) -> None:
         """Append one record.  ``time`` must be non-decreasing per caller
         discipline; the trace itself does not enforce global ordering."""
         self._records.append(Record(time, category, subject, data))
+        if self._max_records is not None \
+                and len(self._records) > self._max_records:
+            # Evict down to 3/4 of the cap in one batch, so the
+            # amortised per-log cost stays O(1) instead of shifting the
+            # whole list on every append at the boundary.
+            keep = (self._max_records * 3) // 4
+            evicted = self._records[:len(self._records) - keep]
+            if self._spill is not None:
+                self._spill(evicted)
+            self.spilled += len(evicted)
+            del self._records[:len(evicted)]
 
     def __len__(self) -> int:
         return len(self._records)
@@ -166,6 +199,19 @@ class Trace:
 
 def _category_matches(actual: str, wanted: str) -> bool:
     return actual == wanted or actual.startswith(wanted + ".")
+
+
+def jsonl_spill(path: str) -> Callable[[list[Record]], None]:
+    """Spill callback for :class:`Trace` that appends evicted records to
+    ``path`` as JSON lines (one record per line, sorted keys)."""
+    def spill(records: list[Record]) -> None:
+        with open(path, "a", encoding="utf-8") as handle:
+            for rec in records:
+                handle.write(json.dumps(
+                    {"time": rec.time, "category": rec.category,
+                     "subject": rec.subject, "data": rec.data},
+                    sort_keys=True) + "\n")
+    return spill
 
 
 def summarize(values: list[int]) -> dict:

@@ -31,6 +31,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.analysis import can_rta, flexray_rta, rta, tdma_bound
 from repro.analysis.e2e import Chain, SAMPLED, Stage
 from repro.analysis.probes import ChainProbe
@@ -457,17 +458,38 @@ def _observations(built: BuiltSystem, layer: str, subject: str) -> list[int]:
 def verify_system(system: GeneratedSystem,
                   horizon: Optional[int] = None) -> SystemVerdict:
     """Run the full differential check for one generated system."""
-    bounds, declined = analyze_bounds(system)
-    built = build_system(system)
-    built.sim.run_until(horizon if horizon is not None else built.horizon)
-    checks = []
-    for layer, subject, bound in bounds:
-        values = _observations(built, layer, subject)
-        checks.append(Check(layer, subject, bound,
-                            max(values) if values else None, len(values)))
-    violations = InvariantChecker(make_invariants(system)).run(built.trace)
-    return SystemVerdict(system.name, system.seed, system.size, checks,
-                         declined, violations, len(built.trace))
+    with obs.span("verify.system", category="verify", system=system.name,
+                  seed=system.seed, size=system.size):
+        bounds, declined = analyze_bounds(system)
+        built = build_system(system)
+        built.sim.run_until(horizon if horizon is not None
+                            else built.horizon)
+        checks = []
+        for layer, subject, bound in bounds:
+            values = _observations(built, layer, subject)
+            checks.append(Check(layer, subject, bound,
+                                max(values) if values else None,
+                                len(values)))
+        violations = InvariantChecker(
+            make_invariants(system)).run(built.trace)
+        verdict = SystemVerdict(system.name, system.seed, system.size,
+                                checks, declined, violations,
+                                len(built.trace))
+    if obs.enabled():
+        obs.count("verify.systems")
+        obs.count("verify.checks", len(verdict.checks))
+        obs.count("verify.declined", len(verdict.declined))
+        obs.count("verify.soundness_violations",
+                  len(verdict.soundness_violations))
+        obs.count("verify.invariant_violations",
+                  len(verdict.invariant_violations))
+        obs.count("verify.trace_records", verdict.records)
+        for check in verdict.checks:
+            if check.tightness is not None:
+                obs.observe("verify.tightness", check.tightness,
+                            buckets=obs.RATIO_BUCKETS)
+        obs.harvest_trace(built.trace, system.name)
+    return verdict
 
 
 def _system_worker(horizon: Optional[int], system: GeneratedSystem,

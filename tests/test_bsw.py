@@ -123,6 +123,55 @@ def test_clear_dtcs():
     assert dem.stored_dtcs() == []
 
 
+def test_snapshot_seq_increases_across_freeze_frame_refreshes():
+    dem = ErrorManager("ECU1", now=lambda: 7)
+    dem.register(ErrorEvent("a", dtc=1, threshold=1))
+    dem.register(ErrorEvent("b", dtc=2, threshold=1))
+    dem.report("a", FAILED)                      # confirm: seq 1
+    seq_confirm = dem.snapshot()["a"]["seq"]
+    dem.report("a", FAILED, context={"n": 1})    # refresh: seq 2
+    seq_refresh1 = dem.snapshot()["a"]["seq"]
+    dem.report("a", FAILED, context={"n": 2})    # refresh: seq 3
+    seq_refresh2 = dem.snapshot()["a"]["seq"]
+    # The simulated clock never moved, but the sequence numbers still
+    # order the refreshes.
+    assert seq_confirm < seq_refresh1 < seq_refresh2
+    # Manager-wide monotonicity: a second event continues the sequence.
+    dem.report("b", FAILED)
+    assert dem.snapshot()["b"]["seq"] > seq_refresh2
+    # Healing is a state change too.
+    dem.report("a", PASSED)
+    assert dem.snapshot()["a"]["seq"] > dem.snapshot()["b"]["seq"]
+
+
+def test_snapshot_seq_zero_before_any_state_change():
+    dem = ErrorManager("ECU1")
+    dem.register(ErrorEvent("e", dtc=1, threshold=3))
+    dem.report("e", FAILED)  # below threshold: no confirm, no seq
+    assert dem.snapshot()["e"]["seq"] == 0
+
+
+def test_error_manager_emits_dlt_on_confirm_and_heal():
+    from repro import obs
+
+    obs.disable()
+    obs.reset()
+    dem = ErrorManager("ECU1", now=lambda: 10)
+    dem.register(ErrorEvent("e", dtc=0x42, threshold=1))
+    obs.enable()
+    try:
+        dem.report("e", FAILED)
+        dem.report("e", PASSED)
+    finally:
+        obs.disable()
+    records = obs.dlt_channel().records
+    assert [(r.severity, r.message) for r in records] == [
+        ("error", "dem.confirmed"), ("info", "dem.healed")]
+    assert all(r.app_id == "DEM" and r.ecu == "ECU1" for r in records)
+    assert records[0].payload["dtc"] == 0x42
+    obs.reset()
+
+
 def test_error_manager_validation():
     dem = ErrorManager("ECU1")
     dem.register(ErrorEvent("e", dtc=1))

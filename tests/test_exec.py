@@ -264,12 +264,12 @@ def test_progress_meter_rates_and_eta():
     now = [0.0]
     meter = ProgressMeter(4, 40, clock=lambda: now[0])
     now[0] = 10.0
-    meter.chunk_skipped(10)
+    meter.chunk_resumed(10)
     meter.chunk_done(10, elapsed=4.0, worker=111)
     meter.chunk_done(10, elapsed=6.0, worker=222)
     snap = meter.snapshot()
-    assert snap["chunks_done"] == 2 and snap["chunks_skipped"] == 1
-    assert snap["items_done"] == 20 and snap["items_skipped"] == 10
+    assert snap["chunks_done"] == 2 and snap["chunks_resumed"] == 1
+    assert snap["items_done"] == 20 and snap["items_resumed"] == 10
     assert snap["items_per_s"] == pytest.approx(2.0)
     assert snap["eta_s"] == pytest.approx(5.0)  # 10 items left at 2/s
     assert snap["workers"] == {

@@ -125,3 +125,58 @@ def test_data_values_skips_records_without_the_key():
     assert tr.data_values("task.complete", "response", "T") == [7, 9]
     assert tr.data_values("task.complete", "response") == [7, 9, 99]
     assert tr.data_values("task.complete", "missing") == []
+
+
+# ----------------------------------------------------------------------
+# Bounded / streaming mode
+# ----------------------------------------------------------------------
+def test_unbounded_trace_default_unchanged():
+    tr = Trace()
+    for i in range(1000):
+        tr.log(i, "cat", "s")
+    assert len(tr) == 1000 and tr.spilled == 0
+
+
+def test_bounded_trace_evicts_oldest_quarter():
+    tr = Trace(max_records=100)
+    for i in range(101):
+        tr.log(i, "cat", "s")
+    # Exceeding the cap trims to 3/4 of it in one batch.
+    assert len(tr) == 75
+    assert tr.spilled == 26
+    assert tr.records("cat")[0].time == 26  # oldest were evicted
+
+
+def test_bounded_trace_spill_callback_receives_evicted():
+    batches = []
+    tr = Trace(max_records=8, spill=batches.append)
+    for i in range(9):
+        tr.log(i, "cat", "s")
+    assert len(tr) == 6 and tr.spilled == 3
+    assert [r.time for r in batches[0]] == [0, 1, 2]
+
+
+def test_jsonl_spill_streams_to_disk(tmp_path):
+    import json
+
+    from repro.sim.trace import jsonl_spill
+
+    path = tmp_path / "spill.jsonl"
+    tr = Trace(max_records=8, spill=jsonl_spill(path))
+    for i in range(20):
+        tr.log(i, "cat", "s", n=i)
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    # Spilled-to-disk plus retained-in-memory covers every record.
+    assert len(rows) + len(tr) == 20
+    assert rows[0] == {"time": 0, "category": "cat", "subject": "s",
+                       "data": {"n": 0}}
+    assert [r["time"] for r in rows] == list(range(len(rows)))
+
+
+def test_bounded_trace_validates_cap():
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        Trace(max_records=2)
