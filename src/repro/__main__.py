@@ -1,5 +1,5 @@
 """Command-line entry point: ``python -m repro
-{info,selftest,campaign,verify}``.
+{info,selftest,campaign,verify,fuzz}``.
 
 ``info`` prints the package inventory; ``selftest`` runs a miniature
 end-to-end scenario (component app -> RTE deployment over CAN -> timing
@@ -8,8 +8,13 @@ installation sanity check.  ``campaign`` runs the reference fault
 campaign (all five fault kinds against a protected speed link) and
 exits non-zero when a fault goes undetected, corrupts application data,
 or fails to recover; ``campaign --smoke`` runs a single cell for CI.
+``fuzz`` runs the coverage-guided differential fuzzer: mutate generated
+systems toward the analysis edges, shrink every failure to a minimal
+counterexample, and optionally persist it to the regression corpus
+(``--corpus-dir``); exits non-zero only when a failure resists
+shrinking.
 
-``campaign`` and ``verify`` both accept the execution-engine flags
+``campaign``, ``verify`` and ``fuzz`` accept the execution-engine flags
 ``--jobs N`` (process-pool fan-out; any N prints the identical report
 digest), ``--checkpoint PATH`` (JSONL journal of per-chunk results),
 ``--resume`` (skip journaled chunks after an interrupted run) and
@@ -45,6 +50,7 @@ def info() -> int:
         ("repro.faults", "fault injection + containment monitors"),
         ("repro.bsw", "modes, DEM, NVRAM, watchdog, NM, diag, gateway"),
         ("repro.dse", "allocation, priorities, consolidation"),
+        ("repro.verify", "differential oracle, invariants, fuzz + shrink"),
         ("repro.exec", "deterministic parallel sweeps + checkpointing"),
         ("repro.obs", "telemetry: metrics, spans, DLT log, exporters"),
         ("repro.legacy", "CAN overlay middleware"),
@@ -271,6 +277,71 @@ def verify(args: list[str]) -> int:
     return 0 if report.passed else 1
 
 
+def fuzz_command(args: list[str]) -> int:
+    """Run the coverage-guided differential fuzzer (the `fuzz`
+    subcommand): mutate generated systems structurally, keep mutants
+    that reach new oracle behaviour, delta-debug every soundness or
+    invariant failure to a minimal counterexample.  Finding failures is
+    the fuzzer doing its job — the exit code is non-zero only when a
+    failure could not be fully shrunk (or the engine itself failed)."""
+    import argparse
+
+    from repro import obs
+    from repro.verify import SIZES
+    from repro.verify.fuzz import (DEFAULT_SEED_BATCH, format_fuzz_report,
+                                   fuzz, write_corpus)
+
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="coverage-guided differential fuzzing with "
+                    "counterexample shrinking")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--budget", type=int, default=200,
+                        help="verify executions to spend (default 200); "
+                             "shrink probes are not counted")
+    parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    parser.add_argument("--seed-batch", type=int,
+                        default=DEFAULT_SEED_BATCH, dest="seed_batch",
+                        help="fresh-seed systems fuzzed before mutation "
+                             f"starts (default {DEFAULT_SEED_BATCH})")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        dest="max_seconds",
+                        help="stop at a round boundary once this much "
+                             "wall clock is spent (CI budget; when it "
+                             "fires, the digest reflects the executed "
+                             "prefix only)")
+    parser.add_argument("--corpus-dir", metavar="DIR", dest="corpus_dir",
+                        help="persist minimized counterexamples as JSON "
+                             "under DIR (e.g. tests/corpus)")
+    _add_exec_arguments(parser)
+    _add_telemetry_arguments(parser)
+    options = parser.parse_args(args)
+    if options.resume and not options.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    telemetry = _telemetry_wanted(options)
+    if telemetry:
+        obs.reset()
+        obs.enable()
+    try:
+        report = fuzz(
+            options.seed, options.budget, options.size,
+            jobs=options.jobs, checkpoint=options.checkpoint,
+            resume=options.resume, seed_batch=options.seed_batch,
+            max_seconds=options.max_seconds,
+            progress=_make_progress(options, options.budget,
+                                    options.budget))
+    finally:
+        if telemetry:
+            obs.disable()
+    print(format_fuzz_report(report))
+    if options.corpus_dir and report.findings:
+        for path in write_corpus(report, options.corpus_dir):
+            print(f"  wrote {path}")
+    if telemetry:
+        _export_telemetry(options)
+    return 0 if not report.unshrunk else 1
+
+
 def stats(args: list[str]) -> int:
     """Summarize exported telemetry files (the `stats` subcommand):
     top spans by cumulative time, histogram percentiles, and the DLT
@@ -304,10 +375,13 @@ def main(argv: list[str]) -> int:
         return campaign(argv[2:])
     if command == "verify":
         return verify(argv[2:])
+    if command == "fuzz":
+        return fuzz_command(argv[2:])
     if command == "stats":
         return stats(argv[2:])
     print(f"unknown command {command!r}; "
-          f"use 'info', 'selftest', 'campaign', 'verify' or 'stats'")
+          f"use 'info', 'selftest', 'campaign', 'verify', 'fuzz' or "
+          f"'stats'")
     return 2
 
 

@@ -199,9 +199,15 @@ class GeneratedSystem:
         return sorted(self.tasksets)
 
     def all_task_specs(self) -> list[TaskSpec]:
-        """Every task spec (fixed-priority ECUs + TDMA ECU)."""
+        """Every task spec (fixed-priority ECUs + TDMA ECU).
+
+        Tolerates a missing TDMA plan: shrunk counterexamples (see
+        :mod:`repro.verify.shrink`) keep only the subsystems their
+        failure needs.
+        """
         specs = [t for ecu in self.fp_ecus for t in self.tasksets[ecu]]
-        specs.extend(self.tdma.tasks)
+        if self.tdma is not None:
+            specs.extend(self.tdma.tasks)
         return specs
 
 

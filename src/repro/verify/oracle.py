@@ -47,6 +47,7 @@ from repro.osek.scheduler import FixedPriorityScheduler
 from repro.osek.task import Acquire, Execute, Release
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
+from repro.units import ms
 from repro.verify.generator import (CriticalSection, GeneratedSystem,
                                     generate_many)
 from repro.verify.invariants import (AliveCounterInvariant,
@@ -78,8 +79,15 @@ class Check:
 
     @property
     def tightness(self) -> Optional[float]:
-        """bound / observed-max — how conservative the analysis is."""
-        if not self.observed:
+        """bound / observed-max — how conservative the analysis is.
+
+        ``None`` both when nothing was observed *and* when the maximum
+        observation is zero (a same-instant delivery a shrunk or
+        fuzzed degenerate system can produce): the ratio is undefined
+        there, and returning ``None`` instead of dividing keeps
+        infinities and ``ZeroDivisionError`` out of report digests.
+        """
+        if self.observed is None or self.observed == 0:
             return None
         return self.bound / self.observed
 
@@ -161,11 +169,22 @@ class VerificationReport:
 
     def layer_summary(self) -> dict[str, dict]:
         """Per-layer aggregate: check/measurement/violation counts and
-        the tightness distribution (min/median/max)."""
+        the tightness distribution (min/median/max).
+
+        Every layer that appears in any verdict's checks or declined
+        entries is summarized — including layers outside :data:`LAYERS`
+        and layers with zero checks or zero observations — so the
+        totals always add up to the per-verdict counts and a
+        zero-observation layer renders as ``None`` tightness rather
+        than being dropped or dividing by zero.
+        """
         summary = {}
         declined = [d.split(":", 1)[0] for v in self.verdicts
                     for d in v.declined]
-        for layer in LAYERS:
+        extra = sorted({c.layer for v in self.verdicts for c in v.checks
+                        if c.layer not in LAYERS}
+                       | {d for d in declined if d not in LAYERS})
+        for layer in (*LAYERS, *extra):
             checks = [c for v in self.verdicts for c in v.checks
                       if c.layer == layer]
             ratios = sorted(c.tightness for c in checks
@@ -189,7 +208,12 @@ class VerificationReport:
 def analyze_bounds(system: GeneratedSystem
                    ) -> tuple[list[tuple[str, str, int]], list[str]]:
     """Every analytic bound for ``system`` as ``(layer, subject, bound)``
-    rows, plus the ``layer:subject`` entries where analysis declined."""
+    rows, plus the ``layer:subject`` entries where analysis declined.
+
+    Subsystems a shrunk or mutated system no longer carries (chain,
+    CAN, FlexRay, TDMA) simply contribute no rows; the layers that are
+    present are analysed exactly as for a full system.
+    """
     bounds: list[tuple[str, str, int]] = []
     declined: list[str] = []
     chain = system.chain
@@ -215,54 +239,66 @@ def analyze_bounds(system: GeneratedSystem
             task_bound[spec.name] = wcrt - spec.jitter
             bounds.append(("rta", spec.name, wcrt - spec.jitter))
 
-    frames = sorted(system.can.frame_specs, key=lambda f: f.can_id)
-    can_result = can_rta.analyze(frames, system.can.bitrate_bps)
-    for frame in frames:
-        wcrt = can_result.wcrt[frame.name]
-        if wcrt < 0:
-            declined.append(f"can:{frame.name}")
-            continue
-        bounds.append(("can", frame.name, wcrt))
+    can_result = None
+    if system.can is not None:
+        frames = sorted(system.can.frame_specs, key=lambda f: f.can_id)
+        can_result = can_rta.analyze(frames, system.can.bitrate_bps)
+        for frame in frames:
+            wcrt = can_result.wcrt[frame.name]
+            if wcrt < 0:
+                declined.append(f"can:{frame.name}")
+                continue
+            bounds.append(("can", frame.name, wcrt))
 
-    config = system.flexray.config
-    for writer in system.flexray.static_writers:
-        bounds.append(("flexray_static", writer.assignment.frame_name,
-                       flexray_rta.static_latency_bound(config,
-                                                        writer.assignment)))
-    dyn_specs = [w.spec for w in system.flexray.dynamic_writers]
-    for writer in system.flexray.dynamic_writers:
-        competitors = [s for s in dyn_specs if s.name != writer.spec.name]
-        try:
-            bound = flexray_rta.dynamic_latency_bound(writer.spec,
-                                                      competitors, config)
-        except AnalysisError:
-            declined.append(f"flexray_dynamic:{writer.spec.name}")
-            continue
-        bounds.append(("flexray_dynamic", writer.spec.name, bound))
+    if system.flexray is not None:
+        config = system.flexray.config
+        for writer in system.flexray.static_writers:
+            bounds.append(
+                ("flexray_static", writer.assignment.frame_name,
+                 flexray_rta.static_latency_bound(config,
+                                                  writer.assignment)))
+        dyn_specs = [w.spec for w in system.flexray.dynamic_writers]
+        for writer in system.flexray.dynamic_writers:
+            competitors = [s for s in dyn_specs
+                           if s.name != writer.spec.name]
+            try:
+                bound = flexray_rta.dynamic_latency_bound(
+                    writer.spec, competitors, config)
+            except AnalysisError:
+                declined.append(f"flexray_dynamic:{writer.spec.name}")
+                continue
+            bounds.append(("flexray_dynamic", writer.spec.name, bound))
 
-    scheduler = system.tdma.scheduler()
-    for partition in system.tdma.partitions:
-        hp = system.tdma.hp_task(partition)
-        try:
-            bound = tdma_bound.tdma_response_bound(scheduler, partition,
-                                                   hp.wcet)
-        except AnalysisError:
-            declined.append(f"tdma:{hp.name}")
-            continue
-        bounds.append(("tdma", hp.name, bound))
+    if system.tdma is not None:
+        scheduler = system.tdma.scheduler()
+        for partition in system.tdma.partitions:
+            members = [t for t in system.tdma.tasks
+                       if t.partition == partition]
+            if not members:
+                continue
+            hp = system.tdma.hp_task(partition)
+            try:
+                bound = tdma_bound.tdma_response_bound(scheduler,
+                                                       partition, hp.wcet)
+            except AnalysisError:
+                declined.append(f"tdma:{hp.name}")
+                continue
+            bounds.append(("tdma", hp.name, bound))
 
-    producer = task_bound.get(chain.producer)
-    consumer = task_bound.get(chain.consumer)
-    frame_wcrt = can_result.wcrt.get(chain.pdu_name, -1)
-    if producer is None or consumer is None or frame_wcrt < 0:
-        declined.append(f"e2e:{chain.pdu_name}")
-    else:
-        model = Chain(chain.pdu_name, [
-            Stage("producer", producer),
-            Stage("frame", frame_wcrt, SAMPLED, period=chain.period),
-            Stage("consumer", consumer),
-        ])
-        bounds.append(("e2e", chain.pdu_name, model.worst_case_latency()))
+    if chain is not None and can_result is not None:
+        producer = task_bound.get(chain.producer)
+        consumer = task_bound.get(chain.consumer)
+        frame_wcrt = can_result.wcrt.get(chain.pdu_name, -1)
+        if producer is None or consumer is None or frame_wcrt < 0:
+            declined.append(f"e2e:{chain.pdu_name}")
+        else:
+            model = Chain(chain.pdu_name, [
+                Stage("producer", producer),
+                Stage("frame", frame_wcrt, SAMPLED, period=chain.period),
+                Stage("consumer", consumer),
+            ])
+            bounds.append(("e2e", chain.pdu_name,
+                           model.worst_case_latency()))
     return bounds, declined
 
 
@@ -271,15 +307,20 @@ def analyze_bounds(system: GeneratedSystem
 # ----------------------------------------------------------------------
 @dataclass
 class BuiltSystem:
-    """Live simulation handles for one generated system."""
+    """Live simulation handles for one generated system.
+
+    Handles of subsystems the system does not carry (shrunk
+    counterexamples) are ``None``; their layers simply observe
+    nothing.
+    """
 
     sim: Simulator
     trace: Trace
     kernels: dict[str, EcuKernel]
-    can_bus: CanBus
-    flexray_bus: FlexRayBus
-    probe: ChainProbe
-    receiver: E2eReceiver
+    can_bus: Optional[CanBus]
+    flexray_bus: Optional[FlexRayBus]
+    probe: Optional[ChainProbe]
+    receiver: Optional[E2eReceiver]
     horizon: int
 
 
@@ -299,58 +340,79 @@ def _cs_body(section: CriticalSection, resource: OsekResource):
 def default_horizon(system: GeneratedSystem) -> int:
     """Four times the longest period anywhere in the system."""
     periods = [t.period for t in system.all_task_specs()]
-    periods += [f.period for f in system.can.frame_specs]
-    periods += [w.period for w in system.flexray.static_writers]
-    periods += [w.period for w in system.flexray.dynamic_writers]
-    return 4 * max(periods)
+    if system.can is not None:
+        periods += [f.period for f in system.can.frame_specs]
+    if system.flexray is not None:
+        periods += [w.period for w in system.flexray.static_writers]
+        periods += [w.period for w in system.flexray.dynamic_writers]
+    # A completely empty system still needs a positive horizon.
+    return 4 * max(periods) if periods else ms(100)
 
 
 def build_system(system: GeneratedSystem) -> BuiltSystem:
-    """Instantiate the generated configuration on the simulation stack."""
+    """Instantiate the generated configuration on the simulation stack.
+
+    Missing subsystems (a shrunk counterexample's dropped chain, CAN,
+    FlexRay or TDMA plan) are simply not built; everything present is
+    wired exactly as for a full system.
+    """
     sim = Simulator()
     trace = Trace()
     chain = system.chain
-    profile = chain.profile()
 
     # -- CAN bus + per-ECU COM stacks ----------------------------------
-    can_bus = CanBus(sim, system.can.bitrate_bps, trace)
+    can_bus = None
     stacks: dict[str, ComStack] = {}
-    for ecu in system.fp_ecus:
-        controller = can_bus.attach(ecu)
-        frame_map = {f.name: f for f in system.can.frame_specs}
-        adapter = CanComAdapter(controller, frame_map)
-        stacks[ecu] = ComStack(sim, adapter, ecu, trace)
-    rx_controller = can_bus.attach("RX")
-    rx_stack = ComStack(sim, CanComAdapter(rx_controller, {}), "RX", trace)
+    rx_stack = None
+    if system.can is not None:
+        can_bus = CanBus(sim, system.can.bitrate_bps, trace)
+        for ecu in system.fp_ecus:
+            controller = can_bus.attach(ecu)
+            frame_map = {f.name: f for f in system.can.frame_specs}
+            adapter = CanComAdapter(controller, frame_map)
+            stacks[ecu] = ComStack(sim, adapter, ecu, trace)
+        rx_controller = can_bus.attach("RX")
+        rx_stack = ComStack(sim, CanComAdapter(rx_controller, {}), "RX",
+                            trace)
+        for frame in system.can.frames:
+            stacks[frame.sender].add_tx_pdu(frame.ipdu, PERIODIC,
+                                            frame.period)
 
-    for frame in system.can.frames:
-        stacks[frame.sender].add_tx_pdu(frame.ipdu, PERIODIC, frame.period)
+    # -- E2E-protected chain over CAN ----------------------------------
+    probe = None
+    receiver = None
+    tx_stack = None
+    on_producer_complete = on_consumer_complete = None
+    if chain is not None and system.can is not None:
+        profile = chain.profile()
 
-    def chain_pdu():
-        return e2e_protected_pdu(
-            chain.pdu_name, 8,
-            [SignalSpec(chain.signal_name, chain.signal_bits)], profile)
+        def chain_pdu():
+            return e2e_protected_pdu(
+                chain.pdu_name, 8,
+                [SignalSpec(chain.signal_name, chain.signal_bits)],
+                profile)
 
-    tx_stack = stacks[chain.producer_ecu]
-    tx_stack.add_tx_pdu(chain_pdu(), PERIODIC, chain.period)
-    rx_stack.add_rx_pdu(chain_pdu())
-    receiver = protect_link(tx_stack, rx_stack, chain.pdu_name, profile)
+        tx_stack = stacks[chain.producer_ecu]
+        tx_stack.add_tx_pdu(chain_pdu(), PERIODIC, chain.period)
+        rx_stack.add_rx_pdu(chain_pdu())
+        receiver = protect_link(tx_stack, rx_stack, chain.pdu_name,
+                                profile)
+        probe = ChainProbe(chain.pdu_name)
+        produced = itertools.count(1)
+
+        def on_producer_complete(job):
+            seq = next(produced) % 65536
+            probe.stamp(seq, job.activation_time)
+            tx_stack.write_signal(chain.signal_name, seq)
+
+        def on_consumer_complete(job):
+            probe.observe(rx_stack.read_signal(chain.signal_name),
+                          job.completed_at)
 
     # -- fixed-priority ECU kernels ------------------------------------
     resources = {name: OsekResource(name, ceiling)
                  for name, ceiling in system.resources.items()}
     sections = {s.task: s for s in system.critical_sections}
-    probe = ChainProbe(chain.pdu_name)
-    produced = itertools.count(1)
-
-    def on_producer_complete(job):
-        seq = next(produced) % 65536
-        probe.stamp(seq, job.activation_time)
-        tx_stack.write_signal(chain.signal_name, seq)
-
-    def on_consumer_complete(job):
-        probe.observe(rx_stack.read_signal(chain.signal_name),
-                      job.completed_at)
 
     kernels: dict[str, EcuKernel] = {}
     consumer_task = None
@@ -358,11 +420,13 @@ def build_system(system: GeneratedSystem) -> BuiltSystem:
         kernel = EcuKernel(sim, FixedPriorityScheduler(), trace, name=ecu)
         kernels[ecu] = kernel
         for spec in system.tasksets[ecu]:
-            if spec.name == chain.consumer:
+            if chain is not None and spec.name == chain.consumer \
+                    and on_consumer_complete is not None:
                 consumer_task = kernel.add_task(
                     spec, on_complete=on_consumer_complete,
                     auto_start=False)
-            elif spec.name == chain.producer:
+            elif chain is not None and spec.name == chain.producer \
+                    and on_producer_complete is not None:
                 kernel.add_task(spec, on_complete=on_producer_complete)
             elif spec.name in sections:
                 section = sections[spec.name]
@@ -371,49 +435,55 @@ def build_system(system: GeneratedSystem) -> BuiltSystem:
             else:
                 kernel.add_task(spec)
 
-    consumer_kernel = kernels[chain.consumer_ecu]
-    rx_stack.on_signal(chain.signal_name,
-                       lambda __: consumer_kernel.activate(consumer_task))
+    if consumer_task is not None:
+        consumer_kernel = kernels[chain.consumer_ecu]
+        rx_stack.on_signal(
+            chain.signal_name,
+            lambda __: consumer_kernel.activate(consumer_task))
 
     # -- TDMA ECU ------------------------------------------------------
-    tdma_kernel = EcuKernel(sim, system.tdma.scheduler(), trace,
-                            name=system.tdma.ecu)
-    kernels[system.tdma.ecu] = tdma_kernel
-    for spec in system.tdma.tasks:
-        tdma_kernel.add_task(spec)
+    if system.tdma is not None:
+        tdma_kernel = EcuKernel(sim, system.tdma.scheduler(), trace,
+                                name=system.tdma.ecu)
+        kernels[system.tdma.ecu] = tdma_kernel
+        for spec in system.tdma.tasks:
+            tdma_kernel.add_task(spec)
 
     # -- FlexRay cluster -----------------------------------------------
-    flexray_bus = FlexRayBus(sim, system.flexray.config, trace)
-    controllers = {node: flexray_bus.attach(node)
-                   for node in system.flexray.nodes}
-    for writer in system.flexray.static_writers:
-        flexray_bus.assign_slot(writer.assignment)
-    flexray_bus.start()
+    flexray_bus = None
+    if system.flexray is not None:
+        flexray_bus = FlexRayBus(sim, system.flexray.config, trace)
+        controllers = {node: flexray_bus.attach(node)
+                       for node in system.flexray.nodes}
+        for writer in system.flexray.static_writers:
+            flexray_bus.assign_slot(writer.assignment)
+        flexray_bus.start()
 
-    def start_static(writer):
-        controller = controllers[writer.assignment.node]
-        payloads = itertools.count(1)
+        def start_static(writer):
+            controller = controllers[writer.assignment.node]
+            payloads = itertools.count(1)
 
-        def fire():
-            controller.send_static(writer.assignment.slot, next(payloads))
-            sim.schedule(writer.period, fire)
+            def fire():
+                controller.send_static(writer.assignment.slot,
+                                       next(payloads))
+                sim.schedule(writer.period, fire)
 
-        sim.schedule_at(writer.offset, fire)
+            sim.schedule_at(writer.offset, fire)
 
-    def start_dynamic(writer):
-        controller = controllers[writer.node]
-        payloads = itertools.count(1)
+        def start_dynamic(writer):
+            controller = controllers[writer.node]
+            payloads = itertools.count(1)
 
-        def fire():
-            controller.queue_dynamic(writer.spec, next(payloads))
-            sim.schedule(writer.period, fire)
+            def fire():
+                controller.queue_dynamic(writer.spec, next(payloads))
+                sim.schedule(writer.period, fire)
 
-        sim.schedule_at(writer.offset, fire)
+            sim.schedule_at(writer.offset, fire)
 
-    for writer in system.flexray.static_writers:
-        start_static(writer)
-    for writer in system.flexray.dynamic_writers:
-        start_dynamic(writer)
+        for writer in system.flexray.static_writers:
+            start_static(writer)
+        for writer in system.flexray.dynamic_writers:
+            start_dynamic(writer)
 
     return BuiltSystem(sim, trace, kernels, can_bus, flexray_bus, probe,
                        receiver, default_horizon(system))
@@ -426,20 +496,28 @@ def make_invariants(system: GeneratedSystem) -> list[Invariant]:
     """The invariant set matching one generated system."""
     task_ecu = {t.name: ecu for ecu in system.fp_ecus
                 for t in system.tasksets[ecu]}
-    task_ecu.update({t.name: system.tdma.ecu for t in system.tdma.tasks})
+    if system.tdma is not None:
+        task_ecu.update({t.name: system.tdma.ecu
+                         for t in system.tdma.tasks})
     priorities = {t.name: t.priority for t in system.all_task_specs()}
-    scheduler = system.tdma.scheduler()
-    windows = [(w.start, w.length, w.partition) for w in scheduler.windows]
-    partition_of = {t.name: t.partition for t in system.tdma.tasks}
-    chain = system.chain
-    return [
+    invariants: list[Invariant] = [
         NoOverlappingExecution(task_ecu),
-        TdmaWindowInvariant(windows, system.tdma.major_frame, partition_of),
         PriorityCeilingInvariant(priorities, system.resources, task_ecu),
-        AliveCounterInvariant(chain.pdu_name, 1 << chain.counter_bits,
-                              chain.max_delta_counter),
-        E2eContainmentInvariant(),
     ]
+    if system.tdma is not None:
+        scheduler = system.tdma.scheduler()
+        windows = [(w.start, w.length, w.partition)
+                   for w in scheduler.windows]
+        partition_of = {t.name: t.partition for t in system.tdma.tasks}
+        invariants.append(TdmaWindowInvariant(
+            windows, system.tdma.major_frame, partition_of))
+    chain = system.chain
+    if chain is not None and system.can is not None:
+        invariants.append(AliveCounterInvariant(
+            chain.pdu_name, 1 << chain.counter_bits,
+            chain.max_delta_counter))
+        invariants.append(E2eContainmentInvariant())
+    return invariants
 
 
 def _observations(built: BuiltSystem, layer: str, subject: str) -> list[int]:
@@ -447,11 +525,12 @@ def _observations(built: BuiltSystem, layer: str, subject: str) -> list[int]:
     if layer in ("rta", "tdma"):
         return built.trace.data_values("task.complete", "response", subject)
     if layer == "can":
-        return built.can_bus.latencies(subject)
+        return built.can_bus.latencies(subject) if built.can_bus else []
     if layer in ("flexray_static", "flexray_dynamic"):
-        return built.flexray_bus.latencies(subject)
+        return (built.flexray_bus.latencies(subject)
+                if built.flexray_bus else [])
     if layer == "e2e":
-        return list(built.probe.latencies)
+        return list(built.probe.latencies) if built.probe else []
     raise AnalysisError(f"unknown layer {layer!r}")
 
 
@@ -484,6 +563,16 @@ def verify_system(system: GeneratedSystem,
         obs.count("verify.invariant_violations",
                   len(verdict.invariant_violations))
         obs.count("verify.trace_records", verdict.records)
+        # Overload symptoms: these make saturation *visible* to the
+        # fuzzer's feedback signature — a mutant that starts shedding
+        # activations or missing deadlines reached new behaviour even
+        # while every bound still holds.
+        lost = len(built.trace.records("task.activation_lost"))
+        if lost:
+            obs.count("verify.activations_lost", lost)
+        missed = len(built.trace.records("task.deadline_miss"))
+        if missed:
+            obs.count("verify.deadline_misses", missed)
         for check in verdict.checks:
             if check.tightness is not None:
                 obs.observe("verify.tightness", check.tightness,

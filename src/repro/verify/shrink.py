@@ -1,0 +1,293 @@
+"""Delta-debugging of failing systems to minimal counterexamples.
+
+A fuzzer-found failure usually arrives wrapped in a hundred components
+that have nothing to do with it — background tasks, unrelated bus
+frames, a whole FlexRay cluster.  :func:`shrink` strips everything the
+failure does not need, ddmin-style: propose a structurally *smaller*
+candidate (one component dropped), keep it iff the **same** failure
+(identified by :func:`failure_keys`) still reproduces, repeat until no
+drop survives.
+
+Guarantees, each covered by tests:
+
+* the result fails the same :data:`FailureKey` as the input;
+* the result is never larger than the input (:func:`system_size` is
+  strictly decreased by every accepted step — reductions only ever
+  drop components);
+* shrinking is idempotent — re-shrinking a minimal system returns it
+  unchanged, which is what lets the regression corpus assert that
+  every persisted counterexample is already minimal.
+
+The simulation horizon is **frozen** to the original system's
+:func:`~repro.verify.oracle.default_horizon` for every candidate
+probe.  Re-deriving it per candidate would let a drop silently shorten
+the horizon below the failure's first occurrence, making the candidate
+"pass" for reasons that have nothing to do with the defect.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.errors import AnalysisError
+from repro.verify.generator import GeneratedSystem
+from repro.verify.mutate import validate_system
+from repro.verify.oracle import SystemVerdict, default_horizon, verify_system
+
+#: ``(kind, detail, subject)`` — ``("soundness", layer, subject)`` for a
+#: beaten analytic bound, ``("invariant", name, subject)`` for a runtime
+#: invariant breach.
+FailureKey = tuple[str, str, str]
+
+
+def failure_keys(verdict: SystemVerdict) -> frozenset[FailureKey]:
+    """Every distinct failure a verdict exhibits."""
+    keys: set[FailureKey] = set()
+    for check in verdict.soundness_violations:
+        keys.add(("soundness", check.layer, check.subject))
+    for violation in verdict.invariant_violations:
+        keys.add(("invariant", violation.invariant, violation.subject))
+    return frozenset(keys)
+
+
+def system_size(system: GeneratedSystem) -> int:
+    """Component count — the measure shrinking strictly decreases."""
+    size = sum(len(tasks) for tasks in system.tasksets.values())
+    size += len(system.tasksets)
+    size += len(system.critical_sections) + len(system.resources)
+    if system.chain is not None:
+        size += 1
+    if system.can is not None:
+        size += 1 + len(system.can.frames) + len(system.can.frame_specs)
+    if system.flexray is not None:
+        size += (1 + len(system.flexray.nodes)
+                 + len(system.flexray.static_writers)
+                 + len(system.flexray.dynamic_writers))
+    if system.tdma is not None:
+        size += 1 + len(system.tdma.partitions) + len(system.tdma.tasks)
+    return size
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one :func:`shrink` run."""
+
+    system: GeneratedSystem     #: the minimized counterexample
+    key: FailureKey             #: the failure it still exhibits
+    horizon: int                #: frozen probe horizon (persist with it)
+    probes: int                 #: candidate verifications attempted
+    accepted: int               #: reductions that kept the failure
+    complete: bool = True       #: False iff the probe budget ran out
+
+    @property
+    def minimal(self) -> bool:
+        """Shrink-minimal: no single-component drop reproduces the
+        failure.  Only guaranteed when the run was :attr:`complete`."""
+        return self.complete
+
+
+# ----------------------------------------------------------------------
+# Reduction candidates, largest components first.  Every candidate is a
+# NEW system with exactly one thing removed; the input is untouched.
+# ----------------------------------------------------------------------
+def _without_chain(system: GeneratedSystem) -> GeneratedSystem:
+    reduced = copy.deepcopy(system)
+    pdu = reduced.chain.pdu_name
+    reduced.chain = None
+    if reduced.can is not None:
+        reduced.can = replace(
+            reduced.can,
+            frames=tuple(f for f in reduced.can.frames
+                         if f.ipdu.name != pdu),
+            frame_specs=tuple(s for s in reduced.can.frame_specs
+                              if s.name != pdu))
+    return reduced
+
+
+def _frame_senders(system: GeneratedSystem) -> set[str]:
+    if system.can is None:
+        return set()
+    return {f.sender for f in system.can.frames}
+
+
+def _candidates(system: GeneratedSystem) -> Iterator[GeneratedSystem]:
+    """Structurally smaller variants, most-aggressive drops first."""
+    # Whole subsystems.
+    if system.chain is not None:
+        yield _without_chain(system)
+    if system.can is not None and system.chain is None:
+        reduced = copy.deepcopy(system)
+        reduced.can = None
+        yield reduced
+    if system.flexray is not None:
+        reduced = copy.deepcopy(system)
+        reduced.flexray = None
+        yield reduced
+    if system.tdma is not None:
+        reduced = copy.deepcopy(system)
+        reduced.tdma = None
+        yield reduced
+
+    # Whole fixed-priority ECUs (chain endpoints and frame senders stay
+    # until the chain / the frames go first).
+    chain_ecus = set()
+    if system.chain is not None:
+        chain_ecus = {system.chain.producer_ecu, system.chain.consumer_ecu}
+    senders = _frame_senders(system)
+    for ecu in system.fp_ecus:
+        if ecu in chain_ecus or ecu in senders:
+            continue
+        reduced = copy.deepcopy(system)
+        dead = {t.name for t in reduced.tasksets.pop(ecu)}
+        reduced.critical_sections = [s for s in reduced.critical_sections
+                                     if s.task not in dead]
+        yield reduced
+
+    # Single fixed-priority tasks.
+    protected = set()
+    if system.chain is not None:
+        protected = {system.chain.producer, system.chain.consumer}
+    for ecu in system.fp_ecus:
+        for task in system.tasksets[ecu]:
+            if task.name in protected:
+                continue
+            reduced = copy.deepcopy(system)
+            reduced.tasksets[ecu] = [t for t in reduced.tasksets[ecu]
+                                     if t.name != task.name]
+            reduced.critical_sections = [
+                s for s in reduced.critical_sections
+                if s.task != task.name]
+            yield reduced
+
+    # Single CAN frames (the chain PDU spec stays with the chain).
+    if system.can is not None:
+        chain_pdu = system.chain.pdu_name if system.chain else None
+        for spec in system.can.frame_specs:
+            if spec.name == chain_pdu:
+                continue
+            reduced = copy.deepcopy(system)
+            reduced.can = replace(
+                reduced.can,
+                frames=tuple(f for f in reduced.can.frames
+                             if f.ipdu.name != spec.name),
+                frame_specs=tuple(s for s in reduced.can.frame_specs
+                                  if s.name != spec.name))
+            yield reduced
+
+    # Single FlexRay writers, then nodes nobody writes from.
+    if system.flexray is not None:
+        for index in range(len(system.flexray.static_writers)):
+            reduced = copy.deepcopy(system)
+            writers = list(reduced.flexray.static_writers)
+            del writers[index]
+            reduced.flexray = replace(reduced.flexray,
+                                      static_writers=tuple(writers))
+            yield reduced
+        for index in range(len(system.flexray.dynamic_writers)):
+            reduced = copy.deepcopy(system)
+            writers = list(reduced.flexray.dynamic_writers)
+            del writers[index]
+            reduced.flexray = replace(reduced.flexray,
+                                      dynamic_writers=tuple(writers))
+            yield reduced
+        used = ({w.assignment.node for w in system.flexray.static_writers}
+                | {w.node for w in system.flexray.dynamic_writers})
+        for node in system.flexray.nodes:
+            if node in used:
+                continue
+            reduced = copy.deepcopy(system)
+            reduced.flexray = replace(
+                reduced.flexray,
+                nodes=tuple(n for n in reduced.flexray.nodes
+                            if n != node))
+            yield reduced
+
+    # TDMA partitions (with their tasks), then single TDMA tasks.
+    if system.tdma is not None:
+        if len(system.tdma.partitions) > 1:
+            for partition in system.tdma.partitions:
+                reduced = copy.deepcopy(system)
+                reduced.tdma = replace(
+                    reduced.tdma,
+                    partitions=tuple(p for p in reduced.tdma.partitions
+                                     if p != partition),
+                    tasks=tuple(t for t in reduced.tdma.tasks
+                                if t.partition != partition))
+                yield reduced
+        populated: dict[str, int] = {}
+        for task in system.tdma.tasks:
+            populated[task.partition] = populated.get(task.partition, 0) + 1
+        for task in system.tdma.tasks:
+            if populated[task.partition] <= 1:
+                continue
+            reduced = copy.deepcopy(system)
+            reduced.tdma = replace(
+                reduced.tdma,
+                tasks=tuple(t for t in reduced.tdma.tasks
+                            if t.name != task.name))
+            yield reduced
+
+    # Critical sections, then orphaned resources.
+    for section in system.critical_sections:
+        reduced = copy.deepcopy(system)
+        reduced.critical_sections = [
+            s for s in reduced.critical_sections
+            if (s.task, s.resource) != (section.task, section.resource)]
+        yield reduced
+    used_resources = {s.resource for s in system.critical_sections}
+    for resource in system.resources:
+        if resource in used_resources:
+            continue
+        reduced = copy.deepcopy(system)
+        del reduced.resources[resource]
+        yield reduced
+
+
+# ----------------------------------------------------------------------
+# The shrink loop
+# ----------------------------------------------------------------------
+def shrink(system: GeneratedSystem, key: FailureKey,
+           horizon: Optional[int] = None,
+           max_probes: int = 2000) -> ShrinkResult:
+    """Minimize ``system`` while failure ``key`` keeps reproducing.
+
+    ``horizon`` defaults to the *input* system's horizon and stays
+    fixed for every probe (see module docstring).  Raises
+    :class:`~repro.errors.AnalysisError` if the input does not exhibit
+    ``key`` under that horizon in the first place.
+    """
+    if horizon is None:
+        horizon = default_horizon(system)
+
+    probes = 0
+    accepted = 0
+
+    def fails(candidate: GeneratedSystem) -> bool:
+        nonlocal probes
+        if validate_system(candidate):
+            return False
+        probes += 1
+        return key in failure_keys(verify_system(candidate, horizon))
+
+    if not fails(system):
+        raise AnalysisError(
+            f"shrink input does not reproduce {key} at horizon {horizon}")
+
+    current = system
+    progress = True
+    exhausted = False
+    while progress and not exhausted:
+        progress = False
+        for candidate in _candidates(current):
+            if probes >= max_probes:
+                exhausted = True
+                break
+            if fails(candidate):
+                current = candidate
+                accepted += 1
+                progress = True
+                break   # restart candidate enumeration on the smaller system
+    return ShrinkResult(current, key, horizon, probes, accepted,
+                        complete=not exhausted)

@@ -1,0 +1,123 @@
+"""Regression replay of the fuzzer's minimized counterexample corpus.
+
+Every ``tests/corpus/*.json`` file is a minimal failing system the
+fuzzer found and the shrinker reduced (see ``repro fuzz
+--corpus-dir``).  This suite replays each one through the oracle
+forever after:
+
+* the persisted failure must still reproduce at the persisted horizon
+  **and** be covered by a documented entry in
+  ``tests/corpus/known_issues.json`` — an *undocumented* reproducing
+  failure fails the suite, as does a documented one that silently
+  stopped reproducing (that means the defect was fixed: delete the
+  corpus file and its known-issue entry together);
+* the persisted system must be shrink-minimal — re-running the
+  shrinker on it is a no-op;
+* the JSON round-trip must be faithful — re-serializing the loaded
+  system reproduces the file's ``system`` dict byte-for-byte.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.verify.oracle import verify_system
+from repro.verify.mutate import validate_system
+from repro.verify.serialize import system_from_dict, system_to_dict
+from repro.verify.shrink import failure_keys, shrink
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+KNOWN_ISSUES_PATH = os.path.join(CORPUS_DIR, "known_issues.json")
+
+
+def corpus_files():
+    return sorted(name for name in os.listdir(CORPUS_DIR)
+                  if name.endswith(".json") and name != "known_issues.json")
+
+
+def load(name):
+    with open(os.path.join(CORPUS_DIR, name), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def known_issues():
+    with open(KNOWN_ISSUES_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def matching_issue(key):
+    kind, detail, _subject = key
+    for issue in known_issues():
+        if issue["kind"] == kind and issue["detail"] == detail:
+            return issue
+    return None
+
+
+def test_corpus_is_seeded():
+    """The corpus ships with at least the two counterexamples found
+    while developing the fuzzer."""
+    assert len(corpus_files()) >= 2
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_counterexample_is_well_formed(name):
+    payload = load(name)
+    system = system_from_dict(payload["system"])
+    assert validate_system(system) == []
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_counterexample_roundtrips_byte_exactly(name):
+    payload = load(name)
+    system = system_from_dict(payload["system"])
+    assert system_to_dict(system) == payload["system"]
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_failure_reproduces_and_is_documented(name):
+    payload = load(name)
+    system = system_from_dict(payload["system"])
+    failure = payload["failure"]
+    key = (failure["kind"], failure["detail"], failure["subject"])
+    verdict = verify_system(system, payload["horizon"])
+    keys = failure_keys(verdict)
+    issue = matching_issue(key)
+    if key in keys:
+        assert issue is not None, (
+            f"{name}: failure {key} reproduces but has no entry in "
+            f"known_issues.json — either fix the defect or document it")
+    else:
+        pytest.fail(
+            f"{name}: persisted failure {key} no longer reproduces — "
+            f"the underlying defect appears fixed; delete this corpus "
+            f"file and its known-issues entry"
+            + ("" if issue is None else f" ({issue['reason']})"))
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_counterexample_is_shrink_minimal(name):
+    """Re-running the shrinker on a persisted counterexample is a
+    no-op (the acceptance bar for everything the fuzzer persists)."""
+    payload = load(name)
+    system = system_from_dict(payload["system"])
+    failure = payload["failure"]
+    key = (failure["kind"], failure["detail"], failure["subject"])
+    result = shrink(system, key, horizon=payload["horizon"])
+    assert result.accepted == 0, (
+        f"{name}: shrinker removed {result.accepted} more component(s) "
+        f"— re-minimize and re-persist this counterexample")
+    assert system_to_dict(result.system) == payload["system"]
+
+
+def test_every_known_issue_is_exercised():
+    """No stale documentation: each known-issue entry matches at least
+    one corpus file."""
+    used = set()
+    for name in corpus_files():
+        failure = load(name)["failure"]
+        for index, issue in enumerate(known_issues()):
+            if issue["kind"] == failure["kind"] \
+                    and issue["detail"] == failure["detail"]:
+                used.add(index)
+    assert used == set(range(len(known_issues())))
