@@ -2,18 +2,24 @@
 
 Claim (methodology, extending E12): a coverage-guided mutation loop
 over the seeded system generator reaches analysis behaviours that
-random sampling never visits — within a 200-execution budget it
-reproduces a genuine soundness defect in the TDMA response bound
-(single-demand supply term vs queued-activation backlog) that 635
-random checks in E12 missed — and the shrinker reduces the finding to
-a counterexample small enough to read.
+random sampling never visits.  When this bench first shipped, the
+200-execution canonical campaign reproduced a genuine soundness
+defect in the TDMA response bound (single-demand supply term vs
+queued-activation backlog) that 635 random checks in E12 missed, and
+the shrinker reduced it to a 5-component counterexample.  That defect
+is now fixed (multi-activation busy window, E16), the three shrunk
+seeds are ``status: "fixed"`` corpus regressions, and the same
+campaign runs **clean** — which is exactly the property this bench
+pins: coverage still grows past the seed plateau (the guidance works)
+while findings stay at zero (the oracle is sound against everything
+the mutators — including the fault-scenario ones — can reach).
 
 Setup: the canonical campaign, ``repro fuzz --seed 7 --budget 200``
 (16 seed systems, then rounds of 8 corpus mutants admitted on new
 feedback-signature tokens).  Rows are the coverage curve milestones
-plus one row per finding with its shrink ratio.  The check asserts
-the properties CI relies on: coverage grows past the seed plateau,
-the known TDMA defect is found and fully minimized, and the corpus
+plus one row per finding with its shrink ratio (normally none).  The
+check asserts the properties CI relies on: coverage grows past the
+seed plateau, zero findings against the fixed oracle, and the corpus
 digest matches the pinned acceptance value (which the jobs-parity CI
 step independently reproduces at ``--jobs 2``).
 """
@@ -26,7 +32,7 @@ from repro.verify.shrink import system_size
 SEED = 7
 BUDGET = 200
 #: The --jobs 1 == --jobs 4 acceptance digest pinned in EXPERIMENTS.md.
-PINNED_DIGEST = "088aaac3e97a34171e9cdeff1de563a71ecd71c82d29bfb0ae279910fb0c4d6b"
+PINNED_DIGEST = "40cf7625a04379ca8843142d1fb530272fbe03c058df294f8c3739e5a69eaeb2"
 
 
 def run() -> list[dict]:
@@ -64,8 +70,9 @@ def check(rows: list[dict]) -> None:
     by_row = {row["row"]: row["value"] for row in rows}
     # Guidance earns its keep: coverage grows well past the seed batch.
     assert int(by_row["_curve_last"]) > int(by_row["_curve_first"])
-    # The known TDMA bound defect is found and fully delta-debugged.
-    assert int(by_row["_findings"]) >= 1
+    # The TDMA bound defect is fixed: the campaign that once found it
+    # (and anything else the mutators reach) now runs clean.
+    assert by_row["_findings"] == "0"
     assert by_row["_unshrunk"] == "0"
     # Determinism: the digest matches the pinned acceptance value.
     assert by_row["_digest_full"] == PINNED_DIGEST

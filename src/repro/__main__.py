@@ -1,5 +1,5 @@
 """Command-line entry point: ``python -m repro
-{info,selftest,campaign,verify,fuzz}``.
+{info,selftest,campaign,verify,fuzz,resilience,stats}``.
 
 ``info`` prints the package inventory; ``selftest`` runs a miniature
 end-to-end scenario (component app -> RTE deployment over CAN -> timing
@@ -12,7 +12,10 @@ or fails to recover; ``campaign --smoke`` runs a single cell for CI.
 systems toward the analysis edges, shrink every failure to a minimal
 counterexample, and optionally persist it to the regression corpus
 (``--corpus-dir``); exits non-zero only when a failure resists
-shrinking.
+shrinking.  ``fuzz --until-dry K`` keeps going until K consecutive
+rounds admit no new coverage token.  ``resilience`` injects the
+standard bus-/ECU-level fault scenarios into seeded random systems and
+checks every one is detected within bound, contained, and recovered.
 
 ``campaign``, ``verify`` and ``fuzz`` accept the execution-engine flags
 ``--jobs N`` (process-pool fan-out; any N prints the identical report
@@ -310,6 +313,11 @@ def fuzz_command(args: list[str]) -> int:
                              "wall clock is spent (CI budget; when it "
                              "fires, the digest reflects the executed "
                              "prefix only)")
+    parser.add_argument("--until-dry", type=int, default=None,
+                        metavar="K", dest="until_dry",
+                        help="campaign mode: keep fuzzing until K "
+                             "consecutive rounds admit no new coverage "
+                             "token (--budget still caps the run)")
     parser.add_argument("--corpus-dir", metavar="DIR", dest="corpus_dir",
                         help="persist minimized counterexamples as JSON "
                              "under DIR (e.g. tests/corpus)")
@@ -328,6 +336,7 @@ def fuzz_command(args: list[str]) -> int:
             jobs=options.jobs, checkpoint=options.checkpoint,
             resume=options.resume, seed_batch=options.seed_batch,
             max_seconds=options.max_seconds,
+            until_dry=options.until_dry,
             progress=_make_progress(options, options.budget,
                                     options.budget))
     finally:
@@ -340,6 +349,52 @@ def fuzz_command(args: list[str]) -> int:
     if telemetry:
         _export_telemetry(options)
     return 0 if not report.unshrunk else 1
+
+
+def resilience(args: list[str]) -> int:
+    """Run the resilience verification matrix (the `resilience`
+    subcommand): generate seeded random systems, inject the standard
+    bus-/ECU-level fault scenarios into each, and check that every
+    fault is detected within its analytic bound, contained behind the
+    guardian, and recovered per the hysteresis policy.  Exits non-zero
+    on any unmet obligation."""
+    import argparse
+
+    from repro import obs
+    from repro.verify import SIZES
+    from repro.verify.resilience import (format_resilience_report,
+                                         run_resilience)
+
+    parser = argparse.ArgumentParser(
+        prog="repro resilience",
+        description="fault-injection resilience verification "
+                    "(detect / contain / recover)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--systems", type=int, default=3)
+    parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    _add_exec_arguments(parser)
+    _add_telemetry_arguments(parser)
+    options = parser.parse_args(args)
+    if options.resume and not options.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    telemetry = _telemetry_wanted(options)
+    if telemetry:
+        obs.reset()
+        obs.enable()
+    try:
+        report = run_resilience(
+            options.seed, options.systems, options.size,
+            jobs=options.jobs, checkpoint=options.checkpoint,
+            resume=options.resume,
+            progress=_make_progress(options, options.systems,
+                                    options.systems))
+    finally:
+        if telemetry:
+            obs.disable()
+    print(format_resilience_report(report))
+    if telemetry:
+        _export_telemetry(options)
+    return 0 if report.passed else 1
 
 
 def stats(args: list[str]) -> int:
@@ -377,11 +432,13 @@ def main(argv: list[str]) -> int:
         return verify(argv[2:])
     if command == "fuzz":
         return fuzz_command(argv[2:])
+    if command == "resilience":
+        return resilience(argv[2:])
     if command == "stats":
         return stats(argv[2:])
     print(f"unknown command {command!r}; "
-          f"use 'info', 'selftest', 'campaign', 'verify', 'fuzz' or "
-          f"'stats'")
+          f"use 'info', 'selftest', 'campaign', 'verify', 'fuzz', "
+          f"'resilience' or 'stats'")
     return 2
 
 

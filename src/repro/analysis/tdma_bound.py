@@ -10,7 +10,7 @@ E1/E2 quantify the latency cost).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import AnalysisError
 from repro.osek.tdma import TdmaScheduler
@@ -100,17 +100,58 @@ def response_bound(demand: int, sbf: Callable[[int], int],
 
 
 def tdma_response_bound(scheduler: TdmaScheduler, partition: str,
-                        demand: int) -> int:
-    """WCRT of a demand of ``demand`` ns inside a TDMA partition
-    (single task or highest-priority task of the partition)."""
+                        demand: int, period: Optional[int] = None,
+                        max_activations: int = 1) -> int:
+    """WCRT of the highest-priority task of a TDMA partition via a
+    multi-activation busy window over the partition supply.
+
+    With ``max_activations == 1`` this is the classic single-demand
+    bound: the smallest ``t`` with ``sbf(t) >= demand``.  With queued
+    re-activations allowed (``max_activations > 1``) that bound is
+    *unsound* under partition overload: when one period's supply falls
+    short of ``demand``, backlog accumulates across major frames and a
+    later activation's response exceeds the single-demand figure.  The
+    busy-window iteration charges ``q`` queued activations at once —
+    ``F_q = min{t : sbf(t) >= q * demand}`` — and the response of the
+    ``q``-th activation, released ``(q-1) * period`` into the window,
+    is ``F_q - (q-1) * period``.  The window closes at the first ``q``
+    with ``F_q <= q * period`` (supply caught up before the next
+    release).  If it never closes within ``max_activations``, ``F_N``
+    (``N = max_activations``) is still sound: the kernel sheds any
+    activation arriving while ``N`` jobs are pending, so every
+    *admitted* job waits behind at most ``N * demand`` of same-task
+    work, all of it supplied within ``F_N`` of the backlog's start.
+    """
     windows = [w for w in scheduler.windows if w.partition == partition]
     if not windows:
         raise AnalysisError(f"partition {partition!r} owns no window")
+    if max_activations < 1:
+        raise AnalysisError("max_activations must be >= 1")
     capacity_per_frame = sum(w.length for w in windows)
-    frames_needed = -(-demand // capacity_per_frame) + 2
-    horizon = frames_needed * scheduler.major_frame
-    return response_bound(demand, tdma_supply(scheduler, partition),
-                          horizon)
+    sbf = tdma_supply(scheduler, partition)
+
+    def finish_time(q: int) -> int:
+        total = q * demand
+        frames_needed = -(-total // capacity_per_frame) + 2
+        return response_bound(total, sbf,
+                              frames_needed * scheduler.major_frame)
+
+    if max_activations == 1:
+        return finish_time(1)
+    if period is None:
+        # No release period known: charge the full shedding-capped
+        # backlog in one go (conservative but sound).
+        return finish_time(max_activations)
+    worst = 0
+    f_q = 0
+    for q in range(1, max_activations + 1):
+        f_q = finish_time(q)
+        worst = max(worst, f_q - (q - 1) * period)
+        if f_q <= q * period:
+            return worst
+    # Busy window never closed: shedding caps the backlog at
+    # max_activations jobs, and F_N dominates every F_q - (q-1)*period.
+    return f_q
 
 
 def server_response_bound(budget: int, period: int, demand: int) -> int:

@@ -18,6 +18,15 @@ chunks that were in flight.  On ``resume`` the journal is replayed:
 not match the plan being resumed is refused — silently mixing results
 of two different sweeps is exactly the corruption this check exists to
 prevent.
+
+A run killed mid-``write`` (power loss, ``kill -9``, a full disk) can
+leave the journal's **last** line truncated or garbled.  That is
+expected damage for an append-only log, so replay tolerates it:
+the trailing line is discarded with a :class:`JournalCorruptionWarning`
+and its chunk simply re-runs — losing one chunk of progress, never
+correctness.  Corruption anywhere *before* the trailing line cannot be
+explained by an interrupted append and still fails the resume with
+:class:`~repro.errors.ExecutionError`, as does a damaged header.
 """
 
 from __future__ import annotations
@@ -26,11 +35,16 @@ import base64
 import json
 import os
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ExecutionError
 from repro.exec.plan import _PICKLE_PROTOCOL, Plan
+
+
+class JournalCorruptionWarning(UserWarning):
+    """A corrupt trailing journal line was discarded during replay."""
 
 
 def _encode_payload(results: list) -> str:
@@ -125,7 +139,12 @@ class Journal:
         if not lines:
             raise ExecutionError(
                 f"cannot resume: journal {self.path} is empty")
-        header = json.loads(lines[0])
+        try:
+            header = json.loads(lines[0])
+        except ValueError as error:
+            raise ExecutionError(
+                f"journal {self.path}: corrupt plan header "
+                f"({error}); refusing to resume")
         if header.get("type") != "plan":
             raise ExecutionError(
                 f"journal {self.path}: missing plan header")
@@ -136,19 +155,42 @@ class Journal:
                 f"(journal {header.get('label')!r} "
                 f"fingerprint {header.get('fingerprint')!r}); refusing "
                 f"to mix results")
-        for line in lines[1:]:
-            record = json.loads(line)
-            kind = record.get("type")
-            index = record.get("chunk")
-            if kind == "start":
-                state.in_flight.add(index)
-            elif kind == "done":
-                state.completed[index] = _decode_payload(record["payload"])
-                if "telemetry" in record:
-                    state.telemetry[index] = record["telemetry"]
-                state.in_flight.discard(index)
-                state.failed.discard(index)
-            elif kind == "failed":
-                state.failed.add(index)
-                state.in_flight.discard(index)
+        last = len(lines) - 1
+        for position, line in enumerate(lines[1:], start=1):
+            try:
+                record = json.loads(line)
+                kind = record.get("type")
+                index = record.get("chunk")
+                if kind == "start":
+                    state.in_flight.add(index)
+                elif kind == "done":
+                    # Decode BEFORE mutating state: a garbled payload
+                    # must not leave a half-registered chunk behind.
+                    payload = _decode_payload(record["payload"])
+                    state.completed[index] = payload
+                    if "telemetry" in record:
+                        state.telemetry[index] = record["telemetry"]
+                    state.in_flight.discard(index)
+                    state.failed.discard(index)
+                elif kind == "failed":
+                    state.failed.add(index)
+                    state.in_flight.discard(index)
+            except (ValueError, KeyError, TypeError, EOFError,
+                    pickle.UnpicklingError) as error:
+                if position == last:
+                    # An interrupted append can only damage the tail.
+                    # Discard it; the chunk's `start` record (if any)
+                    # keeps it in_flight, so it simply re-runs.
+                    warnings.warn(
+                        f"journal {self.path}: discarding corrupt "
+                        f"trailing line ({type(error).__name__}: "
+                        f"{error}); the affected chunk will re-run",
+                        JournalCorruptionWarning, stacklevel=2)
+                    break
+                raise ExecutionError(
+                    f"journal {self.path}: corrupt record at line "
+                    f"{position + 1} of {last + 1} — damage before the "
+                    f"trailing line cannot come from an interrupted "
+                    f"append; refusing to resume "
+                    f"({type(error).__name__}: {error})")
         return state

@@ -14,7 +14,23 @@ Failure handling:
   shared pool; every chunk left unresolved by the broken round is then
   re-run in its own single-worker pool, which attributes the crash to
   the guilty chunk precisely (an innocent chunk simply completes in
-  isolation) while the same retry budget applies.
+  isolation) while the same retry budget applies;
+* a worker that *hangs* is caught by the per-chunk watchdog
+  (``timeout=SECONDS``): the round is declared hung once its allowance
+  (timeout x dispatch waves) elapses, the pool's processes are killed,
+  and every unresolved chunk re-runs in isolation where the watchdog
+  is enforced per chunk precisely — a hung attempt counts against the
+  same retry budget as a raise or a crash;
+* each granted retry waits out a short **fixed** backoff
+  (:data:`_BACKOFF_SCHEDULE`) first — fixed, not randomised, so a
+  retried run stays as deterministic as an untroubled one.
+
+None of this affects merged results: chunk results are a pure function
+of ``(item, seed)``, so any mix of retries, crashes, and watchdog
+kills that ends in success produces the byte-identical report digest
+at any ``--jobs`` level, interrupted or resumed.  With ``jobs=1`` the
+worker runs on the caller's thread and cannot be preempted — the
+watchdog applies to pool execution only.
 
 Every chunk transition is journaled through
 :mod:`repro.exec.checkpoint` when a checkpoint path is given, and
@@ -24,9 +40,11 @@ in-flight or failed ones.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, \
     as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -36,6 +54,30 @@ from repro.exec.checkpoint import Journal
 from repro.exec.plan import Plan
 from repro.exec.progress import ProgressMeter
 from repro.exec.shard import Chunk
+
+#: Fixed pre-retry backoff in seconds, indexed by failed attempts so
+#: far (the last entry repeats).  Fixed rather than exponential-with-
+#: jitter on purpose: wall time never feeds the result digest, and a
+#: deterministic schedule keeps retried runs reproducible.
+_BACKOFF_SCHEDULE = (0.0, 0.05, 0.2)
+
+#: Seam for tests (monkeypatch to observe or skip backoff sleeps).
+_sleep = time.sleep
+
+
+def _backoff(failed_attempts: int) -> None:
+    index = min(failed_attempts - 1, len(_BACKOFF_SCHEDULE) - 1)
+    delay = _BACKOFF_SCHEDULE[index]
+    if delay > 0:
+        _sleep(delay)
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool whose workers may be hung (shutdown alone would
+    block behind the hung task forever)."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_chunk(worker, chunk: Chunk, collect: bool = False
@@ -118,7 +160,8 @@ class _NullJournal:
 def execute(plan: Plan, jobs: int = 1, retries: int = 1,
             checkpoint=None, resume: bool = False,
             progress: Optional[ProgressMeter] = None,
-            interrupt_after: Optional[int] = None) -> ExecutionResult:
+            interrupt_after: Optional[int] = None,
+            timeout: Optional[float] = None) -> ExecutionResult:
     """Run ``plan`` and return its merged, plan-ordered results.
 
     ``jobs=1`` runs in-process; ``jobs>1`` fans chunks out over a
@@ -132,12 +175,21 @@ def execute(plan: Plan, jobs: int = 1, retries: int = 1,
     used to exercise the resume path.
 
     ``retries`` bounds *extra* attempts per chunk (``retries=1`` means
-    at most two attempts) for both raised exceptions and worker deaths.
+    at most two attempts) for raised exceptions, worker deaths, and
+    watchdog timeouts alike; each granted retry first waits out the
+    fixed :data:`_BACKOFF_SCHEDULE` backoff.
+
+    ``timeout`` arms a per-chunk watchdog (seconds of wall clock a
+    single chunk attempt may take).  A hung worker is killed and the
+    chunk re-runs deterministically in isolation.  Ignored when
+    ``jobs=1`` — an in-process worker cannot be preempted.
     """
     if jobs < 1:
         raise ExecutionError(f"jobs must be >= 1, got {jobs}")
     if resume and checkpoint is None:
         raise ExecutionError("resume=True requires a checkpoint path")
+    if timeout is not None and timeout <= 0:
+        raise ExecutionError(f"timeout must be > 0, got {timeout}")
 
     chunks = plan.chunks()
     journal = Journal(checkpoint) if checkpoint is not None \
@@ -185,9 +237,11 @@ def execute(plan: Plan, jobs: int = 1, retries: int = 1,
             and done_this_run >= interrupt_after
 
     def note_failure(chunk: Chunk, error: Exception) -> bool:
-        """Count a failed attempt; True when the chunk may retry."""
+        """Count a failed attempt; True when the chunk may retry
+        (after the fixed backoff for this attempt count)."""
         attempts[chunk.index] = attempts.get(chunk.index, 0) + 1
         if attempts[chunk.index] <= retries:
+            _backoff(attempts[chunk.index])
             return True
         message = f"{type(error).__name__}: {error}"
         failures[chunk.index] = message
@@ -202,7 +256,7 @@ def execute(plan: Plan, jobs: int = 1, retries: int = 1,
                     note_failure)
         else:
             _parallel(plan, pending, jobs, collect, journal, note_done,
-                      note_failure)
+                      note_failure, timeout)
     finally:
         journal.close()
 
@@ -238,21 +292,29 @@ def _serial(plan: Plan, pending: list, collect: bool, journal, note_done,
 
 
 def _parallel(plan: Plan, pending: list, jobs: int, collect: bool,
-              journal, note_done, note_failure) -> None:
-    """Round-based pool execution with crash isolation."""
+              journal, note_done, note_failure,
+              timeout: Optional[float] = None) -> None:
+    """Round-based pool execution with crash and hang isolation."""
     queue = sorted(pending, key=lambda c: c.index)
     while queue:
         batch, queue = queue, []
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(batch)))
+        workers = min(jobs, len(batch))
+        pool = ProcessPoolExecutor(max_workers=workers)
         futures = {}
         for chunk in batch:
             journal.record_start(chunk.index)
             futures[pool.submit(_run_chunk, plan.worker, chunk,
                                 collect)] = chunk
+        # The shared pool dispatches the batch in waves of `workers`
+        # chunks; its watchdog allowance covers every wave.  Which
+        # chunk is actually hung is only attributable from the
+        # isolation path, where the per-chunk timeout is exact.
+        allowance = None if timeout is None \
+            else timeout * math.ceil(len(batch) / workers)
         unresolved = {chunk.index: chunk for chunk in batch}
-        interrupted = broken = False
+        interrupted = broken = hung = False
         try:
-            for future in as_completed(futures):
+            for future in as_completed(futures, timeout=allowance):
                 chunk = futures[future]
                 try:
                     results, telemetry, worker, elapsed = future.result()
@@ -270,17 +332,24 @@ def _parallel(plan: Plan, pending: list, jobs: int, collect: bool,
                 if note_done(chunk, results, telemetry, worker, elapsed):
                     interrupted = True
                     break
+        except FuturesTimeout:
+            # Watchdog: at least one worker is hung.  Kill the pool;
+            # every unresolved chunk re-runs in isolation where the
+            # per-chunk timeout attributes the hang precisely.
+            hung = True
         finally:
-            pool.shutdown(wait=not (interrupted or broken),
-                          cancel_futures=True)
+            if hung or broken:
+                _terminate_workers(pool)
+            else:
+                pool.shutdown(wait=not interrupted, cancel_futures=True)
         if interrupted:
             raise ExecutionInterrupted(
                 f"plan {plan.label!r}: interrupted with "
                 f"{len(queue) + len(unresolved)} chunk(s) outstanding")
-        if broken:
+        if broken or hung:
             for index in sorted(unresolved):
                 if _run_isolated(plan, unresolved[index], collect, journal,
-                                 note_done, note_failure):
+                                 note_done, note_failure, timeout):
                     raise ExecutionInterrupted(
                         f"plan {plan.label!r}: interrupted during "
                         f"crash isolation")
@@ -288,19 +357,33 @@ def _parallel(plan: Plan, pending: list, jobs: int, collect: bool,
 
 
 def _run_isolated(plan: Plan, chunk: Chunk, collect: bool, journal,
-                  note_done, note_failure) -> bool:
+                  note_done, note_failure,
+                  timeout: Optional[float] = None) -> bool:
     """Run one chunk alone in a single-worker pool until it succeeds or
-    exhausts its retry budget; returns True on interrupt-budget hit."""
+    exhausts its retry budget; returns True on interrupt-budget hit.
+    ``timeout`` is enforced exactly here: the chunk is the pool's only
+    occupant, so a watchdog expiry is attributable to it alone."""
     while True:
         journal.record_start(chunk.index)
         pool = ProcessPoolExecutor(max_workers=1)
+        killed = False
         try:
             future = pool.submit(_run_chunk, plan.worker, chunk, collect)
-            results, telemetry, worker, elapsed = future.result()
+            results, telemetry, worker, elapsed = future.result(
+                timeout=timeout)
+        except FuturesTimeout:
+            killed = True
+            _terminate_workers(pool)
+            hang = TimeoutError(
+                f"chunk {chunk.index} exceeded the {timeout}s watchdog")
+            if note_failure(chunk, hang):
+                continue
+            return False
         except Exception as error:
             if note_failure(chunk, error):
                 continue
             return False
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if not killed:
+                pool.shutdown(wait=False, cancel_futures=True)
         return note_done(chunk, results, telemetry, worker, elapsed)

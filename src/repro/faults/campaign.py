@@ -226,6 +226,15 @@ class CampaignWorld:
         """Trace subjects allowed to show damage for this cell."""
         return {cell.target}
 
+    def detection_categories(self, cell: CampaignCell) -> tuple:
+        """Trace categories that count as *detecting* this cell's fault.
+
+        The default is the full :data:`DETECTION_CATEGORIES` tuple;
+        worlds whose faults are detected by mechanism-specific evidence
+        (a guardian block, a slot-loss record) narrow it per cell.
+        """
+        return DETECTION_CATEGORIES
+
     def metrics(self) -> dict:
         """Scenario-specific readings appended to the cell's row."""
         return {}
@@ -324,7 +333,9 @@ def _evaluate(world: CampaignWorld, cell: CampaignCell,
     trace = world.trace
     detection_time = None
     detection_source = None
-    for category in DETECTION_CATEGORIES:
+    categories = getattr(world, "detection_categories",
+                         lambda c: DETECTION_CATEGORIES)(cell)
+    for category in categories:
         for record in trace.records(category):
             if record.time < cell.onset:
                 continue

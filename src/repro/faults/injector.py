@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ConfigurationError
-from repro.faults.model import (BABBLING, CORRUPTION, CRASH, Fault,
+from repro.faults.model import (BABBLING, CORRUPTION, CRASH, DELAY, Fault,
                                 OMISSION, TIMING_OVERRUN)
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
@@ -222,6 +222,157 @@ class ComSignalAdapter(FaultAdapter):
         stuck = fault.params.get("value", mapping.spec.max_value)
         mask = ((1 << mapping.spec.width_bits) - 1) << mapping.start_bit
         return (payload & ~mask) | (stuck << mapping.start_bit)
+
+
+class ComDelayAdapter(FaultAdapter):
+    """Delay faults on a COM rx path: every PDU carrying the signal is
+    withheld and redelivered ``params["delay"]`` later.
+
+    Redelivery calls ``_on_pdu`` directly — the post-filter entry point —
+    so the delayed copy is not run through the rx-filter registry again
+    (which would re-capture it and delay forever).
+    """
+
+    supports = (DELAY,)
+
+    def __init__(self, sim: Simulator, com_stack, signal_name: str):
+        super().__init__(f"{com_stack.node}:{signal_name}")
+        self.sim = sim
+        self.com = com_stack
+        self.signal_name = signal_name
+        self._active_fault = None
+        self._installed = False
+
+    def apply(self, fault: Fault) -> None:
+        """Start withholding receptions of the signal's PDU."""
+        self._active_fault = fault
+        if not self._installed:
+            self.com.add_rx_filter(self._filter)
+            self._installed = True
+
+    def revert(self, fault: Fault) -> None:
+        """Stop delaying new receptions (in-flight ones still arrive)."""
+        self._active_fault = None
+
+    def _filter(self, pdu_name: str, payload: int) -> Optional[int]:
+        fault = self._active_fault
+        if fault is None:
+            return payload
+        ipdu = self.com._rx_pdus.get(pdu_name)
+        if ipdu is None or self.signal_name not in ipdu.signal_names():
+            return payload
+        delay = fault.params.get("delay", 0)
+        self.sim.schedule(delay, lambda: self.com._on_pdu(pdu_name, payload))
+        return None
+
+
+class CanBusErrorAdapter(FaultAdapter):
+    """Error bursts on the CAN medium: while active, every transmission
+    attempt of one frame is destroyed by an error frame (the controller
+    retransmits automatically, so the fault manifests as latency, not
+    silent loss)."""
+
+    supports = (CORRUPTION,)
+
+    def __init__(self, bus, frame_name: str):
+        super().__init__(f"{bus.name}:{frame_name}")
+        self.bus = bus
+        self.frame_name = frame_name
+        self._saved_model = None
+
+    def apply(self, fault: Fault) -> None:
+        """Install the targeted error model (chaining any existing one)."""
+        self._saved_model = self.bus.error_model
+        saved = self._saved_model
+
+        def error_model(spec, msg):
+            if spec.name == self.frame_name:
+                return True
+            return saved is not None and saved(spec, msg)
+
+        self.bus.error_model = error_model
+
+    def revert(self, fault: Fault) -> None:
+        """Restore the bus's previous error model."""
+        self.bus.error_model = self._saved_model
+        self._saved_model = None
+
+
+class FlexRaySlotAdapter(FaultAdapter):
+    """Slot corruption on a FlexRay bus: while active, the static slot
+    carrying one frame is corrupted every cycle (the bus logs
+    ``flexray.slot_lost`` and drops the frame)."""
+
+    supports = (OMISSION,)
+
+    def __init__(self, bus, frame_name: str):
+        super().__init__(f"flexray:{frame_name}")
+        self.bus = bus
+        self.frame_name = frame_name
+        self._saved_model = None
+
+    def apply(self, fault: Fault) -> None:
+        """Install the targeted slot-fault model (chaining any existing
+        one)."""
+        self._saved_model = self.bus.fault_model
+        saved = self._saved_model
+
+        def fault_model(assignment, cycle):
+            if assignment.frame_name == self.frame_name:
+                return True
+            return saved is not None and saved(assignment, cycle)
+
+        self.bus.fault_model = fault_model
+
+    def revert(self, fault: Fault) -> None:
+        """Restore the bus's previous slot-fault model."""
+        self.bus.fault_model = self._saved_model
+        self._saved_model = None
+
+
+class GuardedCanNodeAdapter(FaultAdapter):
+    """Babbling idiot behind a bus guardian: the flood loop asks the
+    guardian for permission before every send, so an untimely
+    transmission attempt is *blocked at the physical layer* instead of
+    reaching the bus.  Each blocked attempt is logged as a
+    ``guardian.blocked`` trace record (the containment evidence the
+    resilience oracle checks for)."""
+
+    supports = (BABBLING,)
+
+    def __init__(self, sim: Simulator, controller, guardian,
+                 flood_period: int, trace: Trace, flood_id: int = 0):
+        super().__init__(controller.node)
+        self.sim = sim
+        self.controller = controller
+        self.guardian = guardian
+        self.flood_period = flood_period
+        self.trace = trace
+        self.flood_id = flood_id
+        self._flood_handle = None
+
+    def apply(self, fault: Fault) -> None:
+        """Start the guarded flood loop."""
+        from repro.network.can import CanFrameSpec
+        spec = CanFrameSpec(f"babble.{self.target_name}", self.flood_id,
+                            dlc=8)
+
+        def flood():
+            if self.guardian.permit(self.sim.now):
+                self.controller.send(spec, payload=0)
+            else:
+                self.trace.log(self.sim.now, "guardian.blocked",
+                               self.target_name, frame=spec.name)
+            self._flood_handle = self.sim.schedule(self.flood_period, flood)
+
+        self._flood_handle = self.sim.schedule(0, flood)
+
+    def revert(self, fault: Fault) -> None:
+        """Stop flooding and flush whatever the guardian let through."""
+        if self._flood_handle is not None:
+            self._flood_handle.cancel()
+            self._flood_handle = None
+        self.controller.flush()
 
 
 class FaultInjector:

@@ -10,7 +10,9 @@ modelled here cover the failure modes the paper and its references name:
 * ``TIMING_OVERRUN`` — software exceeds its execution-time budget;
 * ``OMISSION`` — sporadic message loss;
 * ``CORRUPTION`` — delivered values are wrong (detected by range checks
-  or CRC at the consumer).
+  or CRC at the consumer);
+* ``DELAY`` — messages arrive, but late (detected by deadline/timeout
+  supervision rather than value checks).
 """
 
 from __future__ import annotations
@@ -25,8 +27,10 @@ BABBLING = "babbling"
 TIMING_OVERRUN = "timing_overrun"
 OMISSION = "omission"
 CORRUPTION = "corruption"
+DELAY = "delay"
 
-FAULT_KINDS = (CRASH, BABBLING, TIMING_OVERRUN, OMISSION, CORRUPTION)
+FAULT_KINDS = (CRASH, BABBLING, TIMING_OVERRUN, OMISSION, CORRUPTION,
+               DELAY)
 
 
 @dataclass

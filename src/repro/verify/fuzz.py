@@ -56,8 +56,11 @@ from repro.verify.shrink import (FailureKey, ShrinkResult, failure_keys,
 ROUND_SIZE = 8
 #: Fresh-seed systems fuzzed before mutation starts.
 DEFAULT_SEED_BATCH = 16
-#: Corpus counterexample file format version.
-CORPUS_FORMAT = 1
+#: Corpus counterexample file format version.  Format 2 added the
+#: ``status`` field (``"open"`` = still reproduces, documented in
+#: ``known_issues.json``; ``"fixed"`` = kept as a must-NOT-reproduce
+#: regression) and system format 2 (fault scenarios).
+CORPUS_FORMAT = 2
 #: Tightness bucket width is 1/8 (log-free linear buckets; tightness
 #: lives in [0, ~2] so 8 buckets per unit resolve the interesting band).
 _TIGHTNESS_BUCKETS_PER_UNIT = 8
@@ -141,6 +144,7 @@ class Finding:
         """The JSON corpus-file body for this finding."""
         return {
             "format": CORPUS_FORMAT,
+            "status": "open",
             "failure": {"kind": self.key[0], "detail": self.key[1],
                         "subject": self.key[2]},
             "horizon": self.shrink.horizon,
@@ -181,6 +185,13 @@ class FuzzReport:
     #: seeds-to-new-coverage curve of EXPERIMENTS E15.
     coverage_curve: list[tuple[int, int]] = field(default_factory=list)
     stopped_early: bool = False
+    #: Consecutive no-new-coverage rounds at campaign end.
+    dry_rounds: int = 0
+    #: True iff an ``until_dry`` campaign ended because it ran dry
+    #: (rather than hitting the execution budget).
+    terminated_dry: bool = False
+    #: Mutator name -> times applied (post-seed rounds).
+    mutator_counts: dict = field(default_factory=dict)
 
     @property
     def unshrunk(self) -> list[Finding]:
@@ -217,9 +228,16 @@ def format_fuzz_report(report: FuzzReport) -> str:
     lines = [f"fuzz: seed={report.seed} executions={report.executions}"
              f"/{report.budget} rounds={report.rounds} "
              f"size={report.size}"
-             + (" (stopped early)" if report.stopped_early else "")]
+             + (" (stopped early)" if report.stopped_early else "")
+             + (f" (terminated dry after {report.dry_rounds} "
+                f"dry round(s))" if report.terminated_dry else "")]
     lines.append(f"  corpus: {len(report.corpus)} systems, "
                  f"{len(report.coverage)} coverage tokens")
+    if report.mutator_counts:
+        counts = " ".join(
+            f"{name}={report.mutator_counts[name]}"
+            for name in sorted(report.mutator_counts))
+        lines.append(f"  mutators: {counts}")
     for execs, cov in report.coverage_curve:
         lines.append(f"    after {execs:>5} execs: {cov} tokens")
     if report.findings:
@@ -283,9 +301,16 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
          seed_batch: int = DEFAULT_SEED_BATCH, progress=None,
          max_seconds: Optional[float] = None,
          shrink_probes: int = 2000,
-         interrupt_after: Optional[int] = None) -> FuzzReport:
+         interrupt_after: Optional[int] = None,
+         until_dry: Optional[int] = None) -> FuzzReport:
     """Run one coverage-guided fuzzing campaign of ``budget`` verify
     executions (shrink probes are not counted against the budget).
+
+    ``until_dry=K`` switches to campaign mode: keep fuzzing until
+    ``K`` *consecutive* post-seed rounds admit no new feedback
+    signature token, then stop with ``terminated_dry=True``.  The
+    execution budget still caps the run (a campaign that never runs
+    dry stops at the budget with ``terminated_dry=False``).
 
     Mutant construction happens in the parent — each mutant's RNG is
     seeded from ``derive_seed(seed, execution_index)``, picking a
@@ -307,6 +332,7 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
     started = time.monotonic()
 
     round_no = 0
+    consecutive_dry = 0
     while report.executions < budget:
         if max_seconds is not None \
                 and time.monotonic() - started > max_seconds:
@@ -333,6 +359,8 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
                                                    len(report.corpus))]
                 mutant, mutator = mutate(parent.system, rng)
                 mutant.name = f"m{index}"
+                report.mutator_counts[mutator] = \
+                    report.mutator_counts.get(mutator, 0) + 1
                 mutants.append((mutant, parent.lineage[-1], mutator))
             items = tuple(mutants)
 
@@ -351,6 +379,7 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
 
         # Merge in plan order: corpus admission and finding discovery
         # see results in the same sequence at any job count.
+        round_fresh = False
         for offset, result in enumerate(outcome.results):
             system, parent_label, mutator = items[offset]
             index = report.executions + offset
@@ -361,6 +390,7 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
             fresh = [t for t in result["tokens"]
                      if t not in report.coverage]
             if fresh:
+                round_fresh = True
                 report.coverage.update(result["tokens"])
                 report.corpus.append(
                     CorpusEntry(system, lineage, tuple(fresh)))
@@ -383,7 +413,16 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
         report.rounds = round_no + 1
         report.coverage_curve.append(
             (report.executions, len(report.coverage)))
+        # Seed rounds never count as dry: the first seed always
+        # contributes tokens, and a campaign's dryness is a statement
+        # about *mutation* having nothing left to find.
+        if round_no > 0:
+            consecutive_dry = 0 if round_fresh else consecutive_dry + 1
+        report.dry_rounds = consecutive_dry
         round_no += 1
+        if until_dry is not None and consecutive_dry >= until_dry:
+            report.terminated_dry = True
+            break
 
     if obs.enabled():
         obs.gauge_set("fuzz.corpus_size", len(report.corpus))

@@ -178,6 +178,39 @@ class TdmaPlan:
         return max(members, key=lambda t: t.priority)
 
 
+#: Fault-scenario kinds the resilience layer can inject
+#: (see :mod:`repro.verify.resilience`).
+SCENARIO_KINDS = ("can-error-burst", "can-bus-off", "flexray-slot-loss",
+                  "tdma-babble", "ecu-reset", "e2e-corruption", "e2e-loss",
+                  "e2e-delay")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One injected fault hypothesis riding along with a system.
+
+    ``kind`` is one of :data:`SCENARIO_KINDS`; ``target`` names the
+    affected element where the kind needs one (the static-slot frame
+    for ``flexray-slot-loss``), and is ``""`` for kinds whose target is
+    implied (the E2E chain, its producer ECU, or the CAN bus).  The
+    fault is active over ``[start, start + duration)`` simulation ns.
+    """
+
+    kind: str
+    start: int
+    duration: int
+    target: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    def label(self) -> str:
+        """Stable display/subject label for verdicts and telemetry."""
+        suffix = f":{self.target}" if self.target else ""
+        return f"{self.kind}{suffix}@{self.start}"
+
+
 @dataclass
 class GeneratedSystem:
     """One complete generated configuration."""
@@ -192,6 +225,7 @@ class GeneratedSystem:
     can: Optional[CanPlan] = None
     flexray: Optional[FlexRayPlan] = None
     tdma: Optional[TdmaPlan] = None
+    faults: list[FaultScenario] = field(default_factory=list)
 
     @property
     def fp_ecus(self) -> list[str]:

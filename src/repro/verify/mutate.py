@@ -32,8 +32,9 @@ from typing import Callable, Optional
 
 from repro.network.flexray import StaticSlotAssignment
 from repro.osek.task import TaskSpec
-from repro.verify.generator import (ChainPlan, GeneratedSystem,
-                                    PERIOD_POOL, SIGNAL_PERIOD_POOL,
+from repro.verify.generator import (ChainPlan, FaultScenario,
+                                    GeneratedSystem, PERIOD_POOL,
+                                    SIGNAL_PERIOD_POOL,
                                     TDMA_PERIOD_POOL, TdmaPlan)
 from repro.units import ms, us
 
@@ -191,6 +192,11 @@ def validate_system(system: GeneratedSystem) -> list[str]:
         if tdma.major_frame < len(tdma.partitions):
             problems.append("TDMA: major frame too short to give every "
                             "partition a window")
+
+    if system.faults:
+        from repro.verify.resilience import scenario_problems
+        for scenario in system.faults:
+            problems.extend(scenario_problems(system, scenario))
     return problems
 
 
@@ -640,6 +646,81 @@ def mutate_drop_frame(rng: random.Random,
     return mutant
 
 
+#: At most this many fault scenarios ride on one mutant — each costs a
+#: baseline + faulted simulation pair at verification time.
+_MAX_SCENARIOS = 2
+
+
+def mutate_fault_chain(rng: random.Random,
+                       system: GeneratedSystem
+                       ) -> Optional[GeneratedSystem]:
+    """Attach one chain-targeted fault scenario (E2E corruption, loss
+    or delay, a CAN error burst, producer bus-off, or a transient
+    producer-ECU reset) with a window wide enough that detection is
+    guaranteed by construction (see
+    :func:`repro.verify.resilience.min_duration`)."""
+    if system.chain is None or system.can is None \
+            or len(system.faults) >= _MAX_SCENARIOS:
+        return None
+    from repro.verify.resilience import CHAIN_KINDS, min_duration
+    kind = CHAIN_KINDS[rng.randrange(len(CHAIN_KINDS))]
+    period = system.chain.period
+    mutant = copy.deepcopy(system)
+    onset = period * rng.randint(2, 6)
+    duration = min_duration(system, kind) + period * rng.randint(1, 3)
+    mutant.faults.append(FaultScenario(kind, onset, duration))
+    return mutant
+
+
+def mutate_fault_babble(rng: random.Random,
+                        system: GeneratedSystem
+                        ) -> Optional[GeneratedSystem]:
+    """Attach a babbling-idiot scenario: a rogue CAN node floods the
+    bus behind a windowless guardian (the containment claim under
+    test is that nothing gets through)."""
+    if system.can is None or len(system.faults) >= _MAX_SCENARIOS:
+        return None
+    from repro.verify.resilience import min_duration
+    mutant = copy.deepcopy(system)
+    floor = min_duration(system, "tdma-babble")
+    onset = floor * rng.randint(1, 4)
+    duration = floor * rng.randint(1, 4)
+    mutant.faults.append(FaultScenario("tdma-babble", onset, duration))
+    return mutant
+
+
+def mutate_fault_flexray(rng: random.Random,
+                         system: GeneratedSystem
+                         ) -> Optional[GeneratedSystem]:
+    """Attach a FlexRay slot-corruption scenario on one static writer."""
+    if system.flexray is None or not system.flexray.static_writers \
+            or len(system.faults) >= _MAX_SCENARIOS:
+        return None
+    from repro.verify.resilience import min_duration
+    writers = sorted(system.flexray.static_writers,
+                     key=lambda w: w.assignment.slot)
+    writer = writers[rng.randrange(len(writers))]
+    target = writer.assignment.frame_name
+    mutant = copy.deepcopy(system)
+    onset = writer.period * rng.randint(2, 6)
+    duration = (min_duration(system, "flexray-slot-loss", target)
+                + writer.period * rng.randint(0, 2))
+    mutant.faults.append(
+        FaultScenario("flexray-slot-loss", onset, duration, target))
+    return mutant
+
+
+def mutate_fault_drop(rng: random.Random,
+                      system: GeneratedSystem
+                      ) -> Optional[GeneratedSystem]:
+    """Remove one attached fault scenario."""
+    if not system.faults:
+        return None
+    mutant = copy.deepcopy(system)
+    del mutant.faults[rng.randrange(len(mutant.faults))]
+    return mutant
+
+
 #: The mutation catalogue, in the stable order lineage names refer to.
 MUTATORS: tuple[tuple[str, Mutator], ...] = (
     ("util-up", mutate_util_up),
@@ -661,6 +742,10 @@ MUTATORS: tuple[tuple[str, Mutator], ...] = (
     ("chain-rewire", mutate_chain_rewire),
     ("drop-task", mutate_drop_task),
     ("drop-frame", mutate_drop_frame),
+    ("fault-chain", mutate_fault_chain),
+    ("fault-babble", mutate_fault_babble),
+    ("fault-fr-slot", mutate_fault_flexray),
+    ("fault-drop", mutate_fault_drop),
 )
 
 
@@ -680,8 +765,24 @@ def mutate(system: GeneratedSystem,
         mutant = mutator(rng, system)
         if mutant is None:
             continue
+        _prune_faults(mutant)
         problems = validate_system(mutant)
         assert not problems, (
             f"mutator {name} broke well-formedness: {problems}")
         return mutant, name
     raise AssertionError("no mutator applies to this system")
+
+
+def _prune_faults(system: GeneratedSystem) -> None:
+    """Drop fault scenarios a structural mutation invalidated.
+
+    A chain rewire changes the period every chain-kind window floor is
+    derived from; dropping a frame or subsystem can remove a scenario's
+    injection point.  Scenarios that no longer validate are silently
+    removed — the mutant stays well-formed instead of the mutator
+    asserting."""
+    if not system.faults:
+        return
+    from repro.verify.resilience import scenario_problems
+    system.faults = [f for f in system.faults
+                     if not scenario_problems(system, f)]

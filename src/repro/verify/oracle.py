@@ -278,8 +278,9 @@ def analyze_bounds(system: GeneratedSystem
                 continue
             hp = system.tdma.hp_task(partition)
             try:
-                bound = tdma_bound.tdma_response_bound(scheduler,
-                                                       partition, hp.wcet)
+                bound = tdma_bound.tdma_response_bound(
+                    scheduler, partition, hp.wcet, period=hp.period,
+                    max_activations=hp.max_activations)
             except AnalysisError:
                 declined.append(f"tdma:{hp.name}")
                 continue
@@ -322,6 +323,8 @@ class BuiltSystem:
     probe: Optional[ChainProbe]
     receiver: Optional[E2eReceiver]
     horizon: int
+    stacks: dict[str, ComStack] = field(default_factory=dict)
+    rx_stack: Optional[ComStack] = None
 
 
 def _cs_body(section: CriticalSection, resource: OsekResource):
@@ -486,7 +489,7 @@ def build_system(system: GeneratedSystem) -> BuiltSystem:
             start_dynamic(writer)
 
     return BuiltSystem(sim, trace, kernels, can_bus, flexray_bus, probe,
-                       receiver, default_horizon(system))
+                       receiver, default_horizon(system), stacks, rx_stack)
 
 
 # ----------------------------------------------------------------------
@@ -551,6 +554,18 @@ def verify_system(system: GeneratedSystem,
                                 len(values)))
         violations = InvariantChecker(
             make_invariants(system)).run(built.trace)
+        if system.faults:
+            # Injected-fault scenarios run in *separate* simulations
+            # (the nominal differential run above stays fault-free);
+            # unmet detect/contain/recover obligations surface as
+            # invariant violations so every downstream consumer —
+            # failure keys, shrinking, fuzz feedback — sees them.
+            from repro.verify.resilience import verify_resilience
+            for rv in verify_resilience(system):
+                if not rv.supported:
+                    declined.append(f"resilience:{rv.scenario.label()}")
+                    continue
+                violations.extend(rv.violations())
         verdict = SystemVerdict(system.name, system.seed, system.size,
                                 checks, declined, violations,
                                 len(built.trace))

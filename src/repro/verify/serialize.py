@@ -27,11 +27,14 @@ from repro.network.flexray import (DynamicFrameSpec, FlexRayConfig,
                                    StaticSlotAssignment)
 from repro.osek.task import TaskSpec
 from repro.verify.generator import (CanPlan, ChainPlan, CriticalSection,
-                                    DynamicWriter, FlexRayPlan,
-                                    GeneratedSystem, StaticWriter, TdmaPlan)
+                                    DynamicWriter, FaultScenario,
+                                    FlexRayPlan, GeneratedSystem,
+                                    StaticWriter, TdmaPlan)
 
 #: Corpus file format version (bumped on incompatible changes).
-FORMAT = 1
+#: Format 2 added the ``faults`` list (injected fault scenarios); the
+#: loader still reads format-1 files as fault-free systems.
+FORMAT = 2
 
 
 # ----------------------------------------------------------------------
@@ -134,6 +137,9 @@ def system_to_dict(system: GeneratedSystem) -> dict:
         "flexray": (None if system.flexray is None
                     else _flexray_to_dict(system.flexray)),
         "tdma": None if system.tdma is None else _tdma_to_dict(system.tdma),
+        "faults": [{"kind": f.kind, "start": f.start,
+                    "duration": f.duration, "target": f.target}
+                   for f in system.faults],
     }
 
 
@@ -210,10 +216,10 @@ def _tdma_from_dict(data: dict) -> TdmaPlan:
 def system_from_dict(data: dict) -> GeneratedSystem:
     """Reconstruct a system from :func:`system_to_dict` output."""
     version = data.get("format")
-    if version != FORMAT:
+    if version not in (1, FORMAT):
         raise ConfigurationError(
             f"system dict has format {version!r}; this build reads "
-            f"format {FORMAT}")
+            f"formats 1..{FORMAT}")
     system = GeneratedSystem(data["name"], data["seed"], data["size"])
     system.tasksets = {ecu: [_task_from_dict(t) for t in tasks]
                        for ecu, tasks in data["tasksets"].items()}
@@ -229,4 +235,7 @@ def system_from_dict(data: dict) -> GeneratedSystem:
         system.flexray = _flexray_from_dict(data["flexray"])
     if data["tdma"] is not None:
         system.tdma = _tdma_from_dict(data["tdma"])
+    system.faults = [FaultScenario(f["kind"], f["start"], f["duration"],
+                                   f.get("target", ""))
+                     for f in data.get("faults", ())]
     return system

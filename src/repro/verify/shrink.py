@@ -67,6 +67,7 @@ def system_size(system: GeneratedSystem) -> int:
                  + len(system.flexray.dynamic_writers))
     if system.tdma is not None:
         size += 1 + len(system.tdma.partitions) + len(system.tdma.tasks)
+    size += len(system.faults)
     return size
 
 
@@ -128,6 +129,15 @@ def _candidates(system: GeneratedSystem) -> Iterator[GeneratedSystem]:
     if system.tdma is not None:
         reduced = copy.deepcopy(system)
         reduced.tdma = None
+        yield reduced
+
+    # Single fault scenarios.  These come right after whole subsystems:
+    # a failure unrelated to injection sheds its scenarios early, and a
+    # subsystem a scenario depends on can only be dropped after the
+    # scenario itself goes (validate_system rejects the orphan).
+    for index in range(len(system.faults)):
+        reduced = copy.deepcopy(system)
+        del reduced.faults[index]
         yield reduced
 
     # Whole fixed-priority ECUs (chain endpoints and frame senders stay

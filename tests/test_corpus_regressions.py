@@ -1,20 +1,25 @@
 """Regression replay of the fuzzer's minimized counterexample corpus.
 
-Every ``tests/corpus/*.json`` file is a minimal failing system the
-fuzzer found and the shrinker reduced (see ``repro fuzz
---corpus-dir``).  This suite replays each one through the oracle
-forever after:
+Every ``tests/corpus/*.json`` file is a minimal system the fuzzer
+found and the shrinker reduced (see ``repro fuzz --corpus-dir``).
+Each carries a ``status``:
 
-* the persisted failure must still reproduce at the persisted horizon
-  **and** be covered by a documented entry in
-  ``tests/corpus/known_issues.json`` — an *undocumented* reproducing
-  failure fails the suite, as does a documented one that silently
-  stopped reproducing (that means the defect was fixed: delete the
-  corpus file and its known-issue entry together);
-* the persisted system must be shrink-minimal — re-running the
-  shrinker on it is a no-op;
-* the JSON round-trip must be faithful — re-serializing the loaded
-  system reproduces the file's ``system`` dict byte-for-byte.
+* ``"open"`` — a live defect.  The persisted failure must still
+  reproduce at the persisted horizon, must be covered by a documented
+  entry in ``tests/corpus/known_issues.json``, and the system must be
+  shrink-minimal (re-running the shrinker is a no-op).  An open
+  failure that silently stopped reproducing fails the suite — that
+  means the defect was fixed: flip the file to ``"fixed"`` and delete
+  its known-issue entry.
+* ``"fixed"`` — a defect that has since been repaired.  The persisted
+  failure must **not** reproduce any more; the corpus file stays
+  forever as the regression that pins the fix.  (The three
+  ``soundness-tdma-*`` seeds are the multi-activation TDMA busy-window
+  fix's regressions.)
+
+Regardless of status, every file must be structurally valid and its
+JSON round-trip faithful — re-serializing the loaded system
+reproduces the file's ``system`` dict byte-for-byte.
 """
 
 import json
@@ -54,10 +59,20 @@ def matching_issue(key):
     return None
 
 
+def failure_key(payload):
+    failure = payload["failure"]
+    return (failure["kind"], failure["detail"], failure["subject"])
+
+
 def test_corpus_is_seeded():
-    """The corpus ships with at least the two counterexamples found
-    while developing the fuzzer."""
+    """The corpus ships with at least the counterexamples found while
+    developing the fuzzer (now pinned as fixed-defect regressions)."""
     assert len(corpus_files()) >= 2
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_entry_declares_a_status(name):
+    assert load(name).get("status") in ("open", "fixed")
 
 
 @pytest.mark.parametrize("name", corpus_files())
@@ -75,35 +90,41 @@ def test_counterexample_roundtrips_byte_exactly(name):
 
 
 @pytest.mark.parametrize("name", corpus_files())
-def test_failure_reproduces_and_is_documented(name):
+def test_failure_status_matches_reality(name):
+    """Open failures must reproduce and be documented; fixed failures
+    must stay fixed."""
     payload = load(name)
     system = system_from_dict(payload["system"])
-    failure = payload["failure"]
-    key = (failure["kind"], failure["detail"], failure["subject"])
-    verdict = verify_system(system, payload["horizon"])
-    keys = failure_keys(verdict)
-    issue = matching_issue(key)
-    if key in keys:
-        assert issue is not None, (
+    key = failure_key(payload)
+    keys = failure_keys(verify_system(system, payload["horizon"]))
+    if payload["status"] == "open":
+        if key not in keys:
+            issue = matching_issue(key)
+            pytest.fail(
+                f"{name}: open failure {key} no longer reproduces — "
+                f"the underlying defect appears fixed; flip this file "
+                f"to status 'fixed' and delete its known-issues entry"
+                + ("" if issue is None else f" ({issue['reason']})"))
+        assert matching_issue(key) is not None, (
             f"{name}: failure {key} reproduces but has no entry in "
             f"known_issues.json — either fix the defect or document it")
     else:
-        pytest.fail(
-            f"{name}: persisted failure {key} no longer reproduces — "
-            f"the underlying defect appears fixed; delete this corpus "
-            f"file and its known-issues entry"
-            + ("" if issue is None else f" ({issue['reason']})"))
+        assert key not in keys, (
+            f"{name}: fixed failure {key} reproduces again — the "
+            f"defect this corpus entry pins has REGRESSED")
 
 
-@pytest.mark.parametrize("name", corpus_files())
-def test_counterexample_is_shrink_minimal(name):
-    """Re-running the shrinker on a persisted counterexample is a
-    no-op (the acceptance bar for everything the fuzzer persists)."""
+@pytest.mark.parametrize(
+    "name", [n for n in corpus_files() if load(n)["status"] == "open"])
+def test_open_counterexample_is_shrink_minimal(name):
+    """Re-running the shrinker on a persisted open counterexample is a
+    no-op (the acceptance bar for everything the fuzzer persists).
+    Fixed entries are exempt: their failure no longer reproduces, so
+    the shrinker has nothing to preserve."""
     payload = load(name)
     system = system_from_dict(payload["system"])
-    failure = payload["failure"]
-    key = (failure["kind"], failure["detail"], failure["subject"])
-    result = shrink(system, key, horizon=payload["horizon"])
+    result = shrink(system, failure_key(payload),
+                    horizon=payload["horizon"])
     assert result.accepted == 0, (
         f"{name}: shrinker removed {result.accepted} more component(s) "
         f"— re-minimize and re-persist this counterexample")
@@ -112,10 +133,13 @@ def test_counterexample_is_shrink_minimal(name):
 
 def test_every_known_issue_is_exercised():
     """No stale documentation: each known-issue entry matches at least
-    one corpus file."""
+    one *open* corpus file."""
     used = set()
     for name in corpus_files():
-        failure = load(name)["failure"]
+        payload = load(name)
+        if payload["status"] != "open":
+            continue
+        failure = payload["failure"]
         for index, issue in enumerate(known_issues()):
             if issue["kind"] == failure["kind"] \
                     and issue["detail"] == failure["detail"]:

@@ -43,6 +43,25 @@ def always_crash_worker(crash_item, item, seed):
     return item * 10
 
 
+def hang_once_worker(marker_dir, hang_item, item, seed):
+    """Hangs (hot sleep, no exception) the first time it sees
+    ``hang_item``; succeeds on any retry thanks to the marker file."""
+    import time as _time
+    if item == hang_item:
+        marker = os.path.join(marker_dir, f"hung-{item}")
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            _time.sleep(60)
+    return item * 10
+
+
+def always_hang_worker(hang_item, item, seed):
+    import time as _time
+    if item == hang_item:
+        _time.sleep(60)
+    return item * 10
+
+
 # ---------------------------------------------------------------------------
 # seed derivation
 # ---------------------------------------------------------------------------
@@ -191,6 +210,62 @@ def test_permanently_crashing_chunk_is_marked_failed():
 
 
 # ---------------------------------------------------------------------------
+# execution: watchdog timeout + fixed backoff
+# ---------------------------------------------------------------------------
+def test_hung_worker_is_killed_and_rerun_deterministically(tmp_path):
+    # Item 2's worker hangs on its first attempt; the watchdog kills
+    # the pool, isolation re-runs every unresolved chunk, and the
+    # merged results match an untroubled run exactly.
+    plan = Plan("hangy", partial(hang_once_worker, str(tmp_path), 2),
+                tuple(range(6)), chunk_size=2)
+    outcome = execute(plan, jobs=2, retries=1, timeout=1.0)
+    assert outcome.ok
+    assert outcome.results == [i * 10 for i in range(6)]
+    assert outcome.results == execute(plan, jobs=1).results
+
+
+def test_permanently_hung_chunk_exhausts_retries_and_fails():
+    plan = Plan("hangy", partial(always_hang_worker, 1),
+                tuple(range(3)))
+    outcome = execute(plan, jobs=2, retries=0, timeout=0.5)
+    assert not outcome.ok
+    assert list(outcome.failures) == [1]
+    assert "watchdog" in outcome.failures[1]
+    # innocent chunks still completed in isolation
+    assert outcome.results == [0, 20]
+
+
+def test_watchdog_does_not_fire_on_healthy_parallel_runs():
+    plan = Plan("sq", square_worker, tuple(range(8)), chunk_size=2)
+    timed = execute(plan, jobs=2, timeout=30.0)
+    assert timed.ok
+    assert timed.results == execute(plan, jobs=1).results
+
+
+def test_invalid_timeout_is_rejected():
+    plan = Plan("sq", square_worker, (1,))
+    with pytest.raises(ExecutionError, match="timeout"):
+        execute(plan, jobs=2, timeout=0)
+
+
+def test_retries_wait_out_the_fixed_backoff_schedule(monkeypatch):
+    from repro.exec import pool
+
+    slept = []
+    monkeypatch.setattr(pool, "_sleep", slept.append)
+    plan = Plan("faulty", partial(faulty_worker, 0), (0,))
+    outcome = execute(plan, jobs=1, retries=3)
+    assert not outcome.ok
+    # attempt 1 -> 0.0 (skipped), attempts 2..3 -> schedule tail
+    assert slept == [0.05, 0.2]
+    # the schedule is fixed, never randomised: a second identical run
+    # waits out the identical delays
+    slept.clear()
+    execute(plan, jobs=1, retries=3)
+    assert slept == [0.05, 0.2]
+
+
+# ---------------------------------------------------------------------------
 # checkpoint / resume
 # ---------------------------------------------------------------------------
 def test_interrupt_then_resume_matches_uninterrupted_run(tmp_path):
@@ -255,6 +330,72 @@ def test_fully_journaled_run_resumes_without_executing(tmp_path):
     assert resumed.results == first.results
     assert resumed.chunks_executed == 0
     assert resumed.chunks_resumed == 4
+
+
+# ---------------------------------------------------------------------------
+# checkpoint: journal corruption tolerance
+# ---------------------------------------------------------------------------
+def _truncate_last_line(path):
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[-1] = lines[-1][:len(lines[-1]) // 2]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))  # no trailing newline: mid-write
+
+
+def test_truncated_trailing_line_is_skipped_with_warning(tmp_path):
+    from repro.exec.checkpoint import JournalCorruptionWarning
+
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, tuple(range(4)))
+    full = execute(plan, checkpoint=path)
+    _truncate_last_line(path)
+    with pytest.warns(JournalCorruptionWarning, match="trailing line"):
+        state = Journal(path).load(plan)
+    # the damaged chunk dropped out of `completed`, so it re-runs
+    assert len(state.completed) == 3
+    with pytest.warns(JournalCorruptionWarning):
+        resumed = execute(plan, checkpoint=path, resume=True)
+    assert resumed.ok
+    assert resumed.results == full.results
+    assert resumed.chunks_resumed == 3
+    assert resumed.chunks_executed == 1
+
+
+def test_garbled_trailing_payload_is_skipped_with_warning(tmp_path):
+    from repro.exec.checkpoint import JournalCorruptionWarning
+
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, (1, 2))
+    execute(plan, checkpoint=path)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "done", "chunk": 1, "payload": "!bad!"')
+    with pytest.warns(JournalCorruptionWarning):
+        state = Journal(path).load(plan)
+    assert sorted(state.completed) == [0, 1]  # the valid records stand
+
+
+def test_mid_file_corruption_refuses_to_resume(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, tuple(range(4)))
+    execute(plan, checkpoint=path)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[2] = lines[2][: len(lines[2]) // 2]  # damage BEFORE the tail
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(ExecutionError, match="before the trailing line"):
+        Journal(path).load(plan)
+
+
+def test_corrupt_header_refuses_to_resume(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    plan = Plan("sq", square_worker, (1,))
+    execute(plan, checkpoint=path)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[0] = lines[0][:10]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(ExecutionError, match="header"):
+        Journal(path).load(plan)
 
 
 # ---------------------------------------------------------------------------

@@ -155,10 +155,16 @@ def test_signature_reacts_to_tightness_change():
 # Findings and corpus persistence
 # ----------------------------------------------------------------------
 def _tdma_finding():
-    from tests.test_verify_shrink import overloaded_tdma_system
+    """A realistic complete finding: the historic TDMA defect, shrunk
+    under the pre-fix optimistic bound (see
+    :func:`tests.test_verify_shrink.legacy_tdma_bound` — the shipped
+    analysis no longer exhibits it)."""
+    from tests.test_verify_shrink import (legacy_tdma_bound,
+                                          overloaded_tdma_system)
 
-    system, key = overloaded_tdma_system()
-    result = shrink(system, key)
+    with legacy_tdma_bound():
+        system, key = overloaded_tdma_system()
+        result = shrink(system, key)
     return Finding(key, 17, ("seed:3", "m17:tdma-inflate"), 48, result)
 
 
@@ -175,11 +181,15 @@ def test_write_corpus_roundtrip(tmp_path):
     assert payload["shrink"]["minimal_size"] \
         < payload["shrink"]["original_size"]
     # the persisted system still reproduces the failure at the
-    # persisted horizon
+    # persisted horizon (under the legacy bound the finding came from)
+    from tests.test_verify_shrink import legacy_tdma_bound
+
     system = system_from_dict(payload["system"])
     key = (payload["failure"]["kind"], payload["failure"]["detail"],
            payload["failure"]["subject"])
-    assert key in failure_keys(verify_system(system, payload["horizon"]))
+    with legacy_tdma_bound():
+        assert key in failure_keys(
+            verify_system(system, payload["horizon"]))
 
 
 def test_write_corpus_is_deterministic(tmp_path):
@@ -211,6 +221,35 @@ def test_unshrunk_property():
         truncated.shrink.horizon, probes=1, accepted=0, complete=False)
     report.findings.append(truncated)
     assert report.unshrunk == [truncated]
+
+
+def test_until_dry_is_capped_by_budget(baseline):
+    """With an unreachable dryness target the budget still terminates
+    the campaign, and the digest matches the plain run (dry-run state
+    is bookkeeping, never coverage)."""
+    report = fuzz(seed=7, budget=BUDGET, jobs=1, until_dry=99)
+    assert not report.terminated_dry
+    assert report.executions == BUDGET
+    assert report.digest() == baseline.digest()
+    assert report.mutator_counts  # at least one mutation round ran
+    assert sum(report.mutator_counts.values()) == BUDGET - 16
+
+
+def test_until_dry_terminates_when_rounds_stop_producing():
+    """A generous budget with a dryness target of 1 stops at the first
+    round that admits nothing new, well before the budget."""
+    report = fuzz(seed=7, budget=400, jobs=1, until_dry=1)
+    assert report.terminated_dry
+    assert report.dry_rounds >= 1
+    assert report.executions < 400
+    assert "terminated dry" in format_fuzz_report(report)
+
+
+def test_dry_state_is_not_part_of_the_digest():
+    plain = FuzzReport(7, 100, "small")
+    dry = FuzzReport(7, 100, "small", dry_rounds=3, terminated_dry=True,
+                     mutator_counts={"util-up": 4})
+    assert plain.digest() == dry.digest()
 
 
 def test_fuzz_metrics_emitted():

@@ -3,12 +3,19 @@
 Three promises back the regression corpus (see
 :mod:`repro.verify.shrink`): the minimized system fails the *same*
 check as the input, it is never larger, and shrinking is idempotent —
-re-shrinking a minimal system returns it unchanged.  The fixture
-failure is the genuine soundness defect the fuzzer hunts (the TDMA
+re-shrinking a minimal system returns it unchanged.
+
+The fixture failure is the *historic* TDMA soundness defect (the
 single-demand supply bound under partition overload with queued
-activations), not a synthetic stand-in.
+activations).  The analysis has since been fixed with a
+multi-activation busy window, so the defect no longer reproduces
+against the shipped bound — :func:`legacy_tdma_bound` re-installs the
+pre-fix optimistic bound for the duration of these tests, turning the
+fixed defect into a controlled, realistic failure source for the
+shrinking machinery.
 """
 
+import contextlib
 import json
 from dataclasses import replace
 
@@ -22,6 +29,35 @@ from repro.verify.oracle import default_horizon, verify_system
 from repro.verify.serialize import system_to_dict
 from repro.verify.shrink import (failure_keys, shrink, system_size,
                                  _candidates)
+
+
+@contextlib.contextmanager
+def legacy_tdma_bound():
+    """Re-install the pre-fix single-demand TDMA supply bound.
+
+    The historic soundness defect the ``soundness-tdma-*`` corpus
+    seeds pin is only reproducible under it; with the busy-window fix
+    in place it is the controlled failure source for the shrinker and
+    corpus-persistence tests."""
+    from repro.analysis import tdma_bound as module
+
+    real = module.tdma_response_bound
+
+    def optimistic(scheduler, partition, demand, period=None,
+                   max_activations=1):
+        return real(scheduler, partition, demand)
+
+    module.tdma_response_bound = optimistic
+    try:
+        yield
+    finally:
+        module.tdma_response_bound = real
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _legacy_bound():
+    with legacy_tdma_bound():
+        yield
 
 
 def overloaded_tdma_system():
