@@ -89,11 +89,19 @@ def response_time(task: TaskSpec, tasks: list[TaskSpec],
                 f"task {t.name}: interfering task needs a period")
     ceiling = task.period
     w = task.wcet + blocking
+    # ``rta.fixpoint_iterations`` counts iterations on *every* exit —
+    # convergence and both divergence paths — so fixpoint-cost and
+    # cache-hit-rate metrics see pathological task sets instead of
+    # under-reporting exactly the expensive cases.  Divergent exits
+    # additionally bump ``rta.divergences`` (and never
+    # ``rta.tasks_analyzed``, which stays a success counter).
     for iteration in range(1, MAX_ITERATIONS + 1):
         interference = sum(
             -(-(w + t.jitter) // t.period) * t.wcet for t in higher)
         w_next = task.wcet + blocking + interference
         if w_next > ceiling:
+            obs.count("rta.fixpoint_iterations", iteration)
+            obs.count("rta.divergences")
             raise AnalysisError(
                 f"task {task.name}: busy period exceeds its period "
                 f"({w_next} > {ceiling}); the task set is unschedulable "
@@ -103,6 +111,8 @@ def response_time(task: TaskSpec, tasks: list[TaskSpec],
             obs.count("rta.tasks_analyzed")
             return w + task.jitter
         w = w_next
+    obs.count("rta.fixpoint_iterations", MAX_ITERATIONS)
+    obs.count("rta.divergences")
     raise AnalysisError(
         f"task {task.name}: recurrence did not converge")
 

@@ -1,0 +1,257 @@
+"""Analysis memo cache: content-addressed, LRU, optionally disk-backed.
+
+:class:`AnalysisMemo` memoizes per-layer analysis results under the
+keys of :mod:`repro.perf.keys`.  An entry stores two things:
+
+* the solver's **value** (JSON-native — round-tripped through JSON at
+  store time so a memory hit and a disk hit return structurally
+  identical objects);
+* the obs **counters** the solve emitted (captured in a private
+  :func:`repro.obs.capture` scope), replayed with :func:`repro.obs.count`
+  on every hit.
+
+Counter replay is what keeps a cached run *observationally* identical
+to an uncached one: the fuzzer's feedback signature buckets oracle
+counters (``rta.fixpoint_iterations`` et al.), so a hit that silently
+skipped them would change coverage tokens and corpus digests.  Spans
+are the one telemetry class not replayed — a cache hit genuinely does
+not re-execute the solve, and spans measure wall clock, which never
+feeds a digest.
+
+The on-disk store (one canonical-JSON file per ``(layer, key)``,
+written atomically via ``os.replace``) composes with ``repro.exec``:
+worker processes share warm entries across ``--jobs N`` fan-out and
+``--resume`` restarts; concurrent writers race benignly because any
+writer produces the identical bytes for a given key.  A corrupt or
+truncated file reads as a miss and is re-solved and rewritten.
+
+Process-wide configuration (:func:`configure` / :func:`ensure` /
+:func:`get_memo`) lets the oracle pick the memo up ambiently; workers
+receive it through a plan's ``setup`` hook (:class:`repro.exec.Plan`),
+which calls :func:`ensure` — idempotent, so a warm memo survives
+across chunks and fuzz rounds with equal configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+
+def _copy_jsonish(value):
+    """Structural copy of a JSON-native value — what ``json.loads(
+    json.dumps(v))`` produces, without the serialization round-trip.
+    This is the entire hit path besides the key digest, so it is worth
+    keeping allocation-only."""
+    if type(value) is list:
+        return [_copy_jsonish(item) for item in value]
+    if type(value) is dict:
+        return {name: _copy_jsonish(item)
+                for name, item in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Picklable memo-cache configuration (travels to exec workers)."""
+
+    enabled: bool = False
+    capacity: int = 4096
+    disk_dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {self.capacity}")
+
+    @classmethod
+    def from_mode(cls, mode: str, directory: Optional[str] = None,
+                  capacity: int = 4096) -> "CacheConfig":
+        """Build from the CLI vocabulary: ``off`` / ``memory`` / ``disk``."""
+        if mode == "off":
+            return cls(False)
+        if mode == "memory":
+            return cls(True, capacity)
+        if mode == "disk":
+            if not directory:
+                raise ConfigurationError(
+                    "disk-backed analysis cache needs a directory")
+            return cls(True, capacity, directory)
+        raise ConfigurationError(
+            f"unknown analysis-cache mode {mode!r}; "
+            f"use 'off', 'memory' or 'disk'")
+
+
+class AnalysisMemo:
+    """LRU memo over ``(layer, key)`` with optional disk tier."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        if config.disk_dir is not None:
+            os.makedirs(config.disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, layer: str, key: str) -> str:
+        return os.path.join(self.config.disk_dir,
+                            f"{layer.replace(':', '_')}-{key}.json")
+
+    def _disk_load(self, layer: str, key: str) -> Optional[dict]:
+        if self.config.disk_dir is None:
+            return None
+        try:
+            with open(self._disk_path(layer, key),
+                      encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            # Missing, unreadable, or truncated: a miss, never an error —
+            # the solve below rewrites the file whole.
+            return None
+        if not (isinstance(entry, dict) and "value" in entry
+                and isinstance(entry.get("counters"), dict)):
+            return None
+        return entry
+
+    def _disk_store(self, layer: str, key: str, entry: dict) -> None:
+        if self.config.disk_dir is None:
+            return
+        body = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=self.config.disk_dir,
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            os.replace(tmp, self._disk_path(layer, key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Memory tier
+    # ------------------------------------------------------------------
+    def _remember(self, layer: str, key: str, entry: dict) -> None:
+        self._entries[(layer, key)] = entry
+        self._entries.move_to_end((layer, key))
+        while len(self._entries) > self.config.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def lookup(self, layer: str, key: str) -> Optional[dict]:
+        """The stored entry for ``(layer, key)``, or None on a miss."""
+        entry = self._entries.get((layer, key))
+        if entry is not None:
+            self._entries.move_to_end((layer, key))
+            return entry
+        entry = self._disk_load(layer, key)
+        if entry is not None:
+            self.disk_hits += 1
+            self._remember(layer, key, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # The memoization seam
+    # ------------------------------------------------------------------
+    def solve(self, layer: str, key: str, solver: Callable[[], object]):
+        """Return the memoized value for ``(layer, key)``, running
+        ``solver`` on a miss.
+
+        Either way the solver's obs counters land in the ambient
+        telemetry scope exactly once — recorded in a private capture on
+        the miss, replayed from the entry on a hit — so cached and
+        uncached runs emit identical deterministic telemetry.
+        """
+        entry = self.lookup(layer, key)
+        if entry is not None:
+            self.hits += 1
+            obs.count("perf.cache.hits")
+        else:
+            self.misses += 1
+            obs.count("perf.cache.misses")
+            with obs.capture() as telemetry:
+                value = solver()
+            counters = telemetry.snapshot()["metrics"]["counters"]
+            # perf.* bookkeeping is excluded: a composite entry's solve
+            # performs nested per-layer lookups, and replaying *their*
+            # hit/miss counts on a later composite hit would misreport
+            # cache traffic that never happened.
+            entry = {"value": json.loads(json.dumps(value)),
+                     "counters": {name: int(count)
+                                  for name, count in counters.items()
+                                  if not name.startswith("perf.")}}
+            self._remember(layer, key, entry)
+            self._disk_store(layer, key, entry)
+        for name in sorted(entry["counters"]):
+            obs.count(name, entry["counters"][name])
+        # Hand out a copy, never the stored object: a caller mutating
+        # its result must not poison later hits.  (Stored values went
+        # through JSON once at store time, so the structural copy is
+        # indistinguishable from a round-trip — and much cheaper.)
+        return _copy_jsonish(entry["value"])
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "disk_hits": self.disk_hits}
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk tier is untouched)."""
+        self._entries.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide configuration (the seam the oracle reads)
+# ----------------------------------------------------------------------
+_config = CacheConfig()
+_memo: Optional[AnalysisMemo] = None
+
+
+def configure(config: Optional[CacheConfig]) -> Optional[AnalysisMemo]:
+    """Install ``config`` process-wide; ``None`` (or ``enabled=False``)
+    turns memoization off.  Returns the new memo (or None)."""
+    global _config, _memo
+    _config = config if config is not None else CacheConfig()
+    _memo = AnalysisMemo(_config) if _config.enabled else None
+    return _memo
+
+
+def ensure(config: Optional[CacheConfig]) -> None:
+    """Idempotent worker-side :func:`configure`: reconfigures only when
+    the requested config differs from the installed one, so a warm memo
+    survives repeated chunk setups.  ``None`` is a no-op (the caller
+    expressed no preference)."""
+    if config is not None and config != _config:
+        configure(config)
+
+
+def get_memo() -> Optional[AnalysisMemo]:
+    """The installed memo, or None while memoization is off."""
+    return _memo
+
+
+def stats() -> Optional[dict]:
+    """Hit/miss/eviction stats of the installed memo (None when off)."""
+    return None if _memo is None else _memo.stats()
+
+
+def clear() -> None:
+    """Drop the installed memo's in-memory entries (no-op when off)."""
+    if _memo is not None:
+        _memo.clear()

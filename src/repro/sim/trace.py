@@ -9,6 +9,7 @@ compared with the same vocabulary.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
@@ -178,6 +179,18 @@ class Trace:
             row.update(rec.data)
             rows.append(row)
         return rows
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`to_dicts`.
+
+        Two traces digest equal iff they recorded the same events in
+        the same order with the same payloads — the equivalence notion
+        the kernel-queue parity tests pin (bucket vs heap dispatch must
+        be byte-identical, not merely statistically alike).
+        """
+        body = json.dumps(self.to_dicts(), sort_keys=True,
+                          separators=(",", ":"), default=str)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
     def save_csv(self, path: str) -> int:
         """Write the trace as CSV (data dict serialized per-key into a

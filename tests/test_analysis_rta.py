@@ -139,3 +139,77 @@ def test_analysis_is_safe_upper_bound(params):
     observed = simulate_max_response(tasks, ms(400))
     for spec in tasks:
         assert observed[spec.name] <= result.wcrt[spec.name]
+
+
+# ----------------------------------------------------------------------
+# Fixpoint telemetry: iterations are recorded on every exit path
+# ----------------------------------------------------------------------
+def counters_during(fn):
+    from repro import obs
+
+    with obs.capture() as scope:
+        outcome = None
+        try:
+            fn()
+        except AnalysisError as error:
+            outcome = error
+    return scope.snapshot()["metrics"]["counters"], outcome
+
+
+def test_convergence_records_iterations_and_success():
+    tasks = textbook_set()
+    counters, error = counters_during(
+        lambda: response_time(tasks[2], tasks))
+    assert error is None
+    assert counters["rta.fixpoint_iterations"] >= 1
+    assert counters["rta.tasks_analyzed"] == 1
+    assert "rta.divergences" not in counters
+
+
+def test_divergence_over_period_records_iterations():
+    """An unschedulable task's recurrence walks several iterations
+    before crossing its period — those iterations must be counted, and
+    the exit tagged as a divergence, not a success."""
+    tasks = [
+        TaskSpec("HOG", wcet=ms(3), period=ms(4), priority=2),
+        TaskSpec("LOW", wcet=ms(2), period=ms(6), priority=1),
+    ]
+    counters, error = counters_during(
+        lambda: response_time(tasks[1], tasks))
+    assert error is not None
+    assert counters["rta.fixpoint_iterations"] >= 1
+    assert counters["rta.divergences"] == 1
+    assert "rta.tasks_analyzed" not in counters
+
+
+def test_nonconvergence_exhaustion_records_max_iterations(monkeypatch):
+    """The iteration-budget exit (recurrence still descending when the
+    budget runs out) also records its cost."""
+    import repro.analysis.rta as rta_module
+
+    monkeypatch.setattr(rta_module, "MAX_ITERATIONS", 3)
+    # High utilization makes the recurrence climb one step per
+    # iteration (1, 3, 4, 5, ... before settling), so a 3-iteration
+    # budget runs out while w is still moving — yet far below LOW's
+    # huge period, so the over-ceiling branch never triggers first.
+    tasks = [
+        TaskSpec("H1", wcet=ms(1), period=ms(2), priority=3),
+        TaskSpec("H2", wcet=ms(1), period=ms(3), priority=2),
+        TaskSpec("LOW", wcet=ms(1), period=ms(1000), priority=1),
+    ]
+    counters, error = counters_during(
+        lambda: response_time(tasks[2], tasks))
+    assert error is not None and "did not converge" in str(error)
+    assert counters["rta.fixpoint_iterations"] == 3
+    assert counters["rta.divergences"] == 1
+
+
+def test_precondition_failures_emit_no_fixpoint_telemetry():
+    """Raises before the loop starts (missing period) are configuration
+    errors, not fixpoint outcomes: no iteration count, no divergence."""
+    tasks = [TaskSpec("APERIODIC", wcet=ms(1), priority=1)]
+    counters, error = counters_during(
+        lambda: response_time(tasks[0], tasks))
+    assert error is not None
+    assert "rta.fixpoint_iterations" not in counters
+    assert "rta.divergences" not in counters

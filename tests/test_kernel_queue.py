@@ -1,0 +1,231 @@
+"""Bucket-queue vs heap-queue equivalence for the simulation kernel.
+
+:class:`~repro.sim.kernel.BucketEventQueue` (the fast default) and
+:class:`~repro.sim.kernel.HeapEventQueue` (the reference) must be
+observationally indistinguishable: identical event execution order on
+ties, priorities, cancellations and same-instant rescheduling, and
+byte-identical trace digests for full generated-system simulations.
+Any divergence here means the fast path changed simulation semantics,
+which would silently re-date every pinned digest in the repo.
+"""
+
+import random
+
+import pytest
+
+import repro.sim.kernel as kernel
+from repro.sim.kernel import (BucketEventQueue, HeapEventQueue,
+                              Simulator)
+from repro.sim.trace import Trace
+from repro.verify.generator import generate
+from repro.verify.oracle import build_system, verify_system
+
+QUEUES = (HeapEventQueue, BucketEventQueue)
+
+
+def run_workload(queue_cls, script):
+    """Run a schedule script and return the execution log.
+
+    ``script`` is a list of directives applied before the run:
+    ``("at", time, priority, tag)`` schedules a logging event,
+    ``("cancel", tag)`` cancels a previously scheduled one,
+    ``("respawn", time, priority, tag, delay, count)`` schedules an
+    event that re-schedules ``count`` followers ``delay`` ns apart
+    (``delay=0`` lands them in the *current* batch).
+    """
+    sim = Simulator(queue=queue_cls())
+    log = []
+    handles = {}
+
+    def make_logger(tag):
+        return lambda: log.append((sim.now, tag))
+
+    def make_respawner(tag, delay, count, priority):
+        def fire():
+            log.append((sim.now, tag))
+            for child in range(count):
+                sim.schedule(delay, make_logger(f"{tag}.c{child}"),
+                             priority=priority)
+        return fire
+
+    for directive in script:
+        if directive[0] == "at":
+            _, time, priority, tag = directive
+            handles[tag] = sim.schedule_at(time, make_logger(tag),
+                                           priority=priority)
+        elif directive[0] == "cancel":
+            handles[directive[1]].cancel()
+        elif directive[0] == "respawn":
+            _, time, priority, tag, delay, count = directive
+            sim.schedule_at(time, make_respawner(tag, delay, count,
+                                                 priority),
+                            priority=priority)
+    sim.run_until(10_000)
+    return log, sim.executed, sim.now
+
+
+def random_script(rng):
+    """A random mix of bursts, priorities, cancels and respawns."""
+    script = []
+    tags = []
+    # Heavy same-timestamp bursts: few distinct times, many events.
+    times = [rng.randrange(0, 5_000) for _ in range(rng.randint(2, 6))]
+    for index in range(rng.randint(10, 60)):
+        tag = f"e{index}"
+        script.append(("at", rng.choice(times),
+                       rng.choice([0, 0, 0, 1, 5, -3]), tag))
+        tags.append(tag)
+    for _ in range(rng.randint(0, len(tags) // 3)):
+        script.append(("cancel", rng.choice(tags)))
+    for index in range(rng.randint(0, 4)):
+        script.append(("respawn", rng.choice(times),
+                       rng.choice([0, 2]), f"r{index}",
+                       rng.choice([0, 0, 7]), rng.randint(1, 3)))
+    return script
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_random_workloads_execute_identically(seed):
+    script = random_script(random.Random(seed))
+    heap_run = run_workload(HeapEventQueue, script)
+    bucket_run = run_workload(BucketEventQueue, script)
+    assert bucket_run == heap_run
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_fifo_within_same_time_and_priority(queue_cls):
+    """Equal (time, priority) events fire in insertion order — the
+    regression that a bucket's FIFO mode must honour seq order."""
+    sim = Simulator(queue=queue_cls())
+    log = []
+    for index in range(20):
+        sim.schedule_at(100, lambda i=index: log.append(i))
+    sim.run_until(200)
+    assert log == list(range(20))
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_priority_orders_within_a_batch(queue_cls):
+    sim = Simulator(queue=queue_cls())
+    log = []
+    sim.schedule_at(100, lambda: log.append("late"), priority=5)
+    sim.schedule_at(100, lambda: log.append("early"), priority=-5)
+    sim.schedule_at(100, lambda: log.append("mid-a"), priority=0)
+    sim.schedule_at(100, lambda: log.append("mid-b"), priority=0)
+    sim.run_until(200)
+    assert log == ["early", "mid-a", "mid-b", "late"]
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_mixed_priority_push_after_partial_drain(queue_cls):
+    """A same-instant event scheduled *during* the batch with a better
+    priority than the remaining tail must jump the queue — this is the
+    bucket's FIFO-to-heap conversion path."""
+    sim = Simulator(queue=queue_cls())
+    log = []
+
+    def first():
+        log.append("first")
+        sim.schedule(0, lambda: log.append("urgent"), priority=-10)
+
+    sim.schedule_at(100, first)
+    sim.schedule_at(100, lambda: log.append("second"))
+    sim.schedule_at(100, lambda: log.append("third"))
+    sim.run_until(200)
+    assert log == ["first", "urgent", "second", "third"]
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_cancelled_events_never_fire_and_pending_agrees(queue_cls):
+    sim = Simulator(queue=queue_cls())
+    log = []
+    keep = sim.schedule_at(50, lambda: log.append("keep"))
+    drop = sim.schedule_at(50, lambda: log.append("drop"))
+    sim.schedule_at(60, lambda: log.append("later"))
+    drop.cancel()
+    assert sim.pending == 2
+    sim.run_until(100)
+    assert log == ["keep", "later"]
+    assert keep.time == 50
+    assert sim.executed == 2
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_reschedule_at_drained_timestamp(queue_cls):
+    """Scheduling back into the current instant after its bucket
+    drained must still fire within the same run (the stale-times
+    normalization path of the bucket queue)."""
+    sim = Simulator(queue=queue_cls())
+    log = []
+
+    def fire():
+        log.append(("fire", sim.now))
+        if len(log) < 4:
+            sim.schedule(0, fire)
+
+    sim.schedule_at(100, fire)
+    sim.run_until(200)
+    assert log == [("fire", 100)] * 4
+    assert sim.now == 200
+
+
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_stop_inside_a_batch_halts_dispatch(queue_cls):
+    sim = Simulator(queue=queue_cls())
+    log = []
+    sim.schedule_at(100, lambda: (log.append("a"), sim.stop()))
+    sim.schedule_at(100, lambda: log.append("b"))
+    sim.run_until(200)
+    assert log == ["a"]
+    assert sim.now == 100            # stopped: now stays at the batch
+    sim.run_until(200)
+    assert log == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Full-system equivalence: the oracle's simulations are byte-identical
+# ----------------------------------------------------------------------
+def run_system(monkeypatch, queue_cls, seed):
+    import itertools
+
+    import repro.osek.task as osek_task
+
+    monkeypatch.setattr(kernel, "DEFAULT_QUEUE_CLASS", queue_cls)
+    # Job sequence numbers come from a process-global counter and land
+    # in trace records; restart it so both queue runs see id 0 first.
+    monkeypatch.setattr(osek_task, "_job_seq", itertools.count())
+    system = generate(seed, "small")
+    built = build_system(system)
+    built.sim.run_until(built.horizon)
+    verdict = verify_system(generate(seed, "small"))
+    return built.trace.digest(), verdict.to_dict()
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 17])
+def test_generated_system_traces_and_verdicts_match(monkeypatch, seed):
+    heap = run_system(monkeypatch, HeapEventQueue, seed)
+    bucket = run_system(monkeypatch, BucketEventQueue, seed)
+    assert bucket[0] == heap[0]      # trace digest byte-identical
+    assert bucket[1] == heap[1]      # full oracle verdict identical
+
+
+def test_trace_digest_is_order_and_content_sensitive():
+    a, b = Trace(), Trace()
+    a.log(1, "task.activate", "T1", core=0)
+    a.log(2, "task.complete", "T1")
+    b.log(1, "task.activate", "T1", core=0)
+    b.log(2, "task.complete", "T1")
+    assert a.digest() == b.digest()
+    b.log(3, "task.activate", "T2")
+    assert a.digest() != b.digest()
+    c, d = Trace(), Trace()
+    c.log(1, "x", "s"), c.log(1, "y", "s")
+    d.log(1, "y", "s"), d.log(1, "x", "s")
+    assert c.digest() != d.digest()
+
+
+def test_default_queue_is_the_bucket_queue():
+    """The fast path is the default; this pin makes an accidental
+    fallback to the reference queue a visible test failure."""
+    assert kernel.DEFAULT_QUEUE_CLASS is BucketEventQueue
+    assert isinstance(Simulator()._queue, BucketEventQueue)

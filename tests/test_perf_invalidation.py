@@ -1,0 +1,199 @@
+"""Cache-key invalidation soundness, per fuzz mutator.
+
+The memo cache is sound only if every input an analysis layer reads is
+part of that layer's key.  The fuzzer's mutators are a ready-made
+adversary: each one perturbs a specific subsystem, so for every mutator
+we can state which layers' keys are *allowed* to change — and any key
+change outside that family would mean a layer reads state its key does
+not cover (the unsound direction), while a mutator that never changes
+its primary layer's key would mean stale cache entries serve mutated
+systems (the other unsound direction).  Both directions are pinned
+here, for every mutator in :data:`repro.verify.mutate.MUTATORS`.
+"""
+
+import random
+
+import pytest
+
+from repro.perf.keys import layer_keys
+from repro.verify.generator import generate
+from repro.verify.mutate import MUTATORS, _prune_faults
+from repro.verify.serialize import system_to_dict
+
+#: mutator name -> layer families whose keys the mutation may change.
+#: Families name key prefixes: "rta" covers every ``rta:<ecu>`` key.
+#: "faults" appears in every family because ``mutate()`` runs
+#: ``_prune_faults`` after *any* mutation — a structural change can
+#: invalidate a fault scenario's injection point and drop it.
+ALLOWED = {
+    # Task-set mutators: the mutated ECU's rta slice, plus the e2e
+    # composite (its key embeds the producer/consumer rta keys).
+    "util-up": {"rta", "e2e"},
+    "util-down": {"rta", "e2e"},
+    "jitter": {"rta", "e2e"},
+    "priority-swap": {"rta", "e2e"},
+    "period-repick": {"rta", "e2e"},
+    "drop-task": {"rta", "e2e"},
+    # CAN mutators: the bus key is whole-bus (over-inclusive by
+    # design), and the e2e composite embeds it.
+    "can-id-swap": {"can", "e2e"},
+    "can-period": {"can", "e2e"},
+    "can-repack": {"can", "e2e"},
+    "drop-frame": {"can", "e2e"},
+    # FlexRay mutators: static and dynamic segments key separately.
+    "fr-slot-swap": {"flexray_static"},
+    "fr-cycle-mux": {"flexray_static"},
+    "fr-dynamic": {"flexray_dynamic"},
+    # TDMA mutators.
+    "tdma-inflate": {"tdma"},
+    "tdma-overload": {"tdma"},
+    "tdma-queue": {"tdma"},
+    "tdma-period": {"tdma"},
+    "tdma-major-frame": {"tdma"},
+    # Chain rewire touches producer/consumer tasks, the chain frame
+    # spec, and the chain plan itself.
+    "chain-rewire": {"rta", "can", "e2e"},
+    # Fault mutators touch only the fault scenario list.
+    "fault-chain": {"faults"},
+    "fault-babble": {"faults"},
+    "fault-drop": {"faults"},
+    "fault-fr-slot": {"faults"},
+}
+
+SEED_RANGE = range(30)
+
+
+def family(layer: str) -> str:
+    return layer.split(":", 1)[0]
+
+
+def primary_family(name: str) -> str:
+    """The family a mutator exists to perturb (first entry by intent)."""
+    if name.startswith("fault-"):
+        return "faults"
+    if name.startswith("tdma-"):
+        return "tdma"
+    if name in ("fr-slot-swap", "fr-cycle-mux"):
+        return "flexray_static"
+    if name == "fr-dynamic":
+        return "flexray_dynamic"
+    if name.startswith("can-") or name == "drop-frame":
+        return "can"
+    if name == "chain-rewire":
+        return "e2e"
+    return "rta"
+
+
+def test_allowed_table_covers_every_mutator_exactly():
+    assert sorted(ALLOWED) == sorted(name for name, _ in MUTATORS)
+
+
+def apply(mutator, rng, system):
+    """One mutation exactly as ``mutate()`` performs it (including the
+    fault-scenario pruning pass)."""
+    mutant = mutator(rng, system)
+    if mutant is not None:
+        _prune_faults(mutant)
+    return mutant
+
+
+def base_for(name: str, seed: int):
+    """A generated system the named mutator can actually apply to.
+
+    Two mutators never apply to fresh generator output: ``fault-drop``
+    needs an attached fault scenario (added here via ``fault-chain``),
+    and ``can-repack`` needs a frame whose DLC exceeds its payload —
+    a state only the shrinker's signal removal produces, emulated here
+    by slimming one background frame's I-PDU below its (max-size) DLC.
+    """
+    system = generate(seed, "small")
+    if name == "fault-drop":
+        from repro.verify.mutate import mutate_fault_chain
+        with_fault = mutate_fault_chain(random.Random(seed), system)
+        return with_fault if with_fault is not None else system
+    if name == "can-repack":
+        if system.can is None:
+            return system
+        chain_pdu = system.chain.pdu_name if system.chain else None
+        for frame in system.can.frames:
+            if frame.ipdu.name != chain_pdu and frame.ipdu.size_bytes > 1:
+                frame.ipdu.size_bytes -= 1
+                break
+        return system
+    return system
+
+
+@pytest.mark.parametrize("name,mutator", MUTATORS)
+def test_mutator_changes_only_its_allowed_layer_keys(name, mutator):
+    allowed = ALLOWED[name]
+    applied = 0
+    for seed in SEED_RANGE:
+        base = base_for(name, seed)
+        base_keys = layer_keys(base)
+        base_dict = system_to_dict(base)
+        mutant = apply(mutator, random.Random(seed), base)
+        if mutant is None:
+            continue
+        applied += 1
+        mutant_keys = layer_keys(mutant)
+        if system_to_dict(mutant) == base_dict:
+            # A no-op draw (e.g. a slot swapped with itself): the keys
+            # must agree exactly — same content, same cache entries.
+            assert mutant_keys == base_keys, name
+            continue
+        changed = ({layer for layer in base_keys
+                    if mutant_keys.get(layer) != base_keys[layer]}
+                   | (set(mutant_keys) ^ set(base_keys)))
+        assert changed, (
+            f"{name}: mutant differs from base but no layer key "
+            f"changed — some analysed input is missing from the keys")
+        illegal = {layer for layer in changed
+                   if family(layer) not in allowed}
+        assert not illegal, (
+            f"{name}: changed keys {sorted(illegal)} outside the "
+            f"allowed families {sorted(allowed)}")
+    assert applied >= 5, f"{name} applied to too few seeds to judge"
+
+
+@pytest.mark.parametrize("name,mutator", MUTATORS)
+def test_mutator_invalidates_its_primary_layer_somewhere(name, mutator):
+    """Each mutator must actually dirty the layer it targets on at
+    least one seed — otherwise its cache entries would go stale."""
+    target = primary_family(name)
+    for seed in SEED_RANGE:
+        base = base_for(name, seed)
+        base_keys = layer_keys(base)
+        mutant = apply(mutator, random.Random(seed), base)
+        if mutant is None:
+            continue
+        mutant_keys = layer_keys(mutant)
+        changed = ({layer for layer in base_keys
+                    if mutant_keys.get(layer) != base_keys[layer]}
+                   | (set(mutant_keys) ^ set(base_keys)))
+        if any(family(layer) == target for layer in changed):
+            return
+    pytest.fail(f"{name} never changed a {target} key over "
+                f"{len(SEED_RANGE)} seeds")
+
+
+def test_unrelated_layer_reuse_across_mutation():
+    """The point of it all: mutate one subsystem, and every untouched
+    layer's key — hence its cache entry — survives verbatim."""
+    from repro.verify.mutate import MUTATORS as table
+
+    by_name = dict(table)
+    for seed in SEED_RANGE:
+        base = generate(seed, "small")
+        if base.tdma is None:
+            continue
+        base_keys = layer_keys(base)
+        mutant = apply(by_name["tdma-inflate"], random.Random(seed), base)
+        if mutant is None:
+            continue
+        mutant_keys = layer_keys(mutant)
+        for layer in base_keys:
+            if family(layer) in ("tdma", "faults"):
+                continue
+            assert mutant_keys[layer] == base_keys[layer], layer
+        return
+    pytest.fail("no seed produced a TDMA-carrying system to mutate")

@@ -1,0 +1,252 @@
+"""Unit tests for the analysis memo cache (:mod:`repro.perf.memo`) and
+the content-addressed layer keys (:mod:`repro.perf.keys`).
+
+The memo's contract has three legs: a hit returns a value structurally
+identical to what the solver produced, a hit replays the solver's obs
+counters so cached and uncached telemetry agree, and the disk tier
+tolerates anything the filesystem can throw at it (missing, corrupt,
+truncated files read as misses, never as errors).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs, perf
+from repro.errors import ConfigurationError
+from repro.perf.keys import layer_inputs, layer_keys
+from repro.perf.memo import AnalysisMemo, CacheConfig
+from repro.verify.generator import generate
+
+
+@pytest.fixture(autouse=True)
+def cache_off():
+    """Every test starts and ends with the process-wide memo off."""
+    perf.configure(None)
+    yield
+    perf.configure(None)
+
+
+def make_solver(value, counters=()):
+    """A solver that emits obs counters and counts its invocations."""
+    calls = []
+
+    def solver():
+        calls.append(1)
+        for name, amount in counters:
+            obs.count(name, amount)
+        return value
+
+    return solver, calls
+
+
+# ----------------------------------------------------------------------
+# CacheConfig
+# ----------------------------------------------------------------------
+def test_config_rejects_nonpositive_capacity():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(True, 0)
+
+
+def test_config_from_mode_vocabulary(tmp_path):
+    assert CacheConfig.from_mode("off").enabled is False
+    memory = CacheConfig.from_mode("memory", capacity=7)
+    assert memory.enabled and memory.capacity == 7 \
+        and memory.disk_dir is None
+    disk = CacheConfig.from_mode("disk", str(tmp_path))
+    assert disk.enabled and disk.disk_dir == str(tmp_path)
+    with pytest.raises(ConfigurationError):
+        CacheConfig.from_mode("disk")
+    with pytest.raises(ConfigurationError):
+        CacheConfig.from_mode("sideways")
+
+
+# ----------------------------------------------------------------------
+# Miss / hit behaviour
+# ----------------------------------------------------------------------
+def test_solve_runs_solver_once_then_hits():
+    memo = AnalysisMemo(CacheConfig(True, 16))
+    solver, calls = make_solver({"rows": [["t", 5]]})
+    first = memo.solve("rta:E1", "k1", solver)
+    second = memo.solve("rta:E1", "k1", solver)
+    assert first == second == {"rows": [["t", 5]]}
+    assert len(calls) == 1
+    assert memo.stats()["hits"] == 1 and memo.stats()["misses"] == 1
+
+
+def test_hit_value_is_json_identical_not_the_same_object():
+    """Entries round-trip through JSON at store time, so a hit cannot
+    leak mutable state between callers."""
+    memo = AnalysisMemo(CacheConfig(True, 16))
+    solver, _ = make_solver({"rows": [["t", 5]]})
+    first = memo.solve("can", "k", solver)
+    first["rows"].append(["mutated", 0])
+    second = memo.solve("can", "k", solver)
+    assert second == {"rows": [["t", 5]]}
+
+
+def test_hit_replays_solver_counters_identically():
+    memo = AnalysisMemo(CacheConfig(True, 16))
+    solver, calls = make_solver(
+        {"rows": []}, counters=(("rta.fixpoint_iterations", 9),
+                                ("rta.tasks_analyzed", 3)))
+    with obs.capture() as miss_scope:
+        memo.solve("rta:E1", "k", solver)
+    with obs.capture() as hit_scope:
+        memo.solve("rta:E1", "k", solver)
+    assert len(calls) == 1
+    miss = miss_scope.snapshot()["metrics"]["counters"]
+    hit = hit_scope.snapshot()["metrics"]["counters"]
+    # Identical except for the cache's own bookkeeping counter.
+    assert miss.pop("perf.cache.misses") == 1
+    assert hit.pop("perf.cache.hits") == 1
+    assert miss == hit
+    assert hit["rta.fixpoint_iterations"] == 9
+    assert hit["rta.tasks_analyzed"] == 3
+
+
+def test_distinct_layers_do_not_collide_on_equal_keys():
+    memo = AnalysisMemo(CacheConfig(True, 16))
+    a, _ = make_solver({"rows": [["a", 1]]})
+    b, _ = make_solver({"rows": [["b", 2]]})
+    assert memo.solve("can", "same-key", a) != \
+        memo.solve("tdma", "same-key", b)
+
+
+# ----------------------------------------------------------------------
+# LRU eviction
+# ----------------------------------------------------------------------
+def test_lru_evicts_least_recently_used_at_capacity():
+    memo = AnalysisMemo(CacheConfig(True, 2))
+    s1, c1 = make_solver({"rows": [[1]]})
+    s2, c2 = make_solver({"rows": [[2]]})
+    s3, c3 = make_solver({"rows": [[3]]})
+    memo.solve("can", "k1", s1)
+    memo.solve("can", "k2", s2)
+    memo.solve("can", "k1", s1)      # refresh k1: k2 is now oldest
+    memo.solve("can", "k3", s3)      # evicts k2
+    assert memo.stats()["evictions"] == 1
+    memo.solve("can", "k1", s1)
+    assert len(c1) == 1              # still cached
+    memo.solve("can", "k2", s2)
+    assert len(c2) == 2              # was evicted: re-solved
+
+
+# ----------------------------------------------------------------------
+# Disk tier
+# ----------------------------------------------------------------------
+def test_disk_roundtrip_survives_memory_clear(tmp_path):
+    memo = AnalysisMemo(CacheConfig(True, 16, str(tmp_path)))
+    solver, calls = make_solver({"rows": [["t", 5]]},
+                                counters=(("rta.tasks_analyzed", 1),))
+    memo.solve("rta:E1", "deadbeef", solver)
+    memo.clear()
+    with obs.capture() as scope:
+        value = memo.solve("rta:E1", "deadbeef", solver)
+    assert value == {"rows": [["t", 5]]}
+    assert len(calls) == 1
+    assert memo.disk_hits == 1
+    counters = scope.snapshot()["metrics"]["counters"]
+    assert counters["rta.tasks_analyzed"] == 1  # replayed from disk
+
+
+def test_disk_files_are_canonical_json(tmp_path):
+    memo = AnalysisMemo(CacheConfig(True, 16, str(tmp_path)))
+    solver, _ = make_solver({"rows": [["t", 5]]})
+    memo.solve("rta:E1", "cafe", solver)
+    names = os.listdir(tmp_path)
+    assert names == ["rta_E1-cafe.json"]
+    with open(tmp_path / names[0], encoding="utf-8") as handle:
+        body = handle.read()
+    entry = json.loads(body)
+    assert body == json.dumps(entry, sort_keys=True,
+                              separators=(",", ":"))
+
+
+@pytest.mark.parametrize("body", ["", "{truncated", '"a string"',
+                                  '{"value": 1}', '{"counters": {}}'])
+def test_corrupt_or_partial_disk_entry_reads_as_miss(tmp_path, body):
+    memo = AnalysisMemo(CacheConfig(True, 16, str(tmp_path)))
+    path = tmp_path / "can-feed.json"
+    path.write_text(body, encoding="utf-8")
+    solver, calls = make_solver({"rows": [["ok", 1]]})
+    assert memo.solve("can", "feed", solver) == {"rows": [["ok", 1]]}
+    assert len(calls) == 1           # the solver ran: corrupt = miss
+    # ... and the solve rewrote the file whole.
+    assert json.loads(path.read_text())["value"] == {"rows": [["ok", 1]]}
+
+
+# ----------------------------------------------------------------------
+# Process-wide configuration seam
+# ----------------------------------------------------------------------
+def test_configure_none_and_disabled_mean_off():
+    assert perf.configure(None) is None
+    assert perf.get_memo() is None and perf.stats() is None
+    assert perf.configure(CacheConfig(False)) is None
+    memo = perf.configure(CacheConfig(True, 8))
+    assert perf.get_memo() is memo
+
+
+def test_ensure_is_idempotent_and_keeps_warm_memo():
+    config = CacheConfig(True, 8)
+    perf.configure(config)
+    memo = perf.get_memo()
+    solver, _ = make_solver({"rows": []})
+    memo.solve("can", "k", solver)
+    perf.ensure(config)              # equal config: memo survives warm
+    assert perf.get_memo() is memo
+    assert perf.get_memo().stats()["entries"] == 1
+    perf.ensure(None)                # no preference: no-op
+    assert perf.get_memo() is memo
+    perf.ensure(CacheConfig(True, 9))  # different config: fresh memo
+    assert perf.get_memo() is not memo
+
+
+# ----------------------------------------------------------------------
+# Layer keys
+# ----------------------------------------------------------------------
+def test_layer_keys_are_deterministic_and_hex():
+    system = generate(3, "small")
+    keys_a = layer_keys(system)
+    keys_b = layer_keys(generate(3, "small"))
+    assert keys_a == keys_b
+    assert keys_a
+    for key in keys_a.values():
+        assert len(key) == 64 and int(key, 16) >= 0
+
+
+def test_layer_keys_cover_every_analyzed_layer():
+    system = generate(3, "small")
+    keys = layer_keys(system)
+    for ecu in system.fp_ecus:
+        assert f"rta:{ecu}" in keys
+    if system.can is not None:
+        assert "can" in keys
+    if system.flexray is not None:
+        assert "flexray_static" in keys and "flexray_dynamic" in keys
+    if system.tdma is not None:
+        assert "tdma" in keys
+    if system.chain is not None and system.can is not None:
+        assert "e2e" in keys
+
+
+def test_e2e_key_depends_on_its_producer_rta_key():
+    """The composite e2e key embeds its dependency layers' keys, so a
+    task change invalidates the chain bound even though the chain plan
+    itself is untouched."""
+    system = generate(3, "small")
+    assert system.chain is not None and system.can is not None
+    keys = layer_keys(system)
+    producer = system.chain.producer_ecu
+    task = system.tasksets[producer][0]
+    task.wcet += 1
+    bumped = layer_keys(system)
+    assert bumped[f"rta:{producer}"] != keys[f"rta:{producer}"]
+    assert bumped["e2e"] != keys["e2e"]
+
+
+def test_layer_inputs_are_json_native():
+    system = generate(5, "small")
+    inputs = layer_inputs(system)
+    assert json.loads(json.dumps(inputs, sort_keys=True)) == inputs

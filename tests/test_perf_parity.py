@@ -1,0 +1,203 @@
+"""Cached-vs-uncached parity for the analysis memo cache.
+
+The cache's only licence to exist is that it is *invisible*: every
+verdict, report digest, coverage token, and telemetry counter must be
+byte-identical with the cache off, cold, warm, disk-backed, or
+mid-eviction — for the regression corpus, for generated systems, for
+property-drawn systems, and under ``--jobs``/``--resume``.  These tests
+are the licence check.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs, perf
+from repro.perf.memo import CacheConfig
+from repro.verify.fuzz import fuzz
+from repro.verify.generator import generate
+from repro.verify.oracle import analyze_bounds, verify_many, verify_system
+from repro.verify.serialize import system_from_dict
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+@pytest.fixture(autouse=True)
+def cache_off():
+    """Tests flip the process-wide memo; always leave it off."""
+    perf.configure(None)
+    yield
+    perf.configure(None)
+
+
+def corpus_systems():
+    systems = []
+    for name in sorted(os.listdir(CORPUS_DIR)):
+        if not name.endswith(".json") or name == "known_issues.json":
+            continue
+        with open(os.path.join(CORPUS_DIR, name),
+                  encoding="utf-8") as handle:
+            payload = json.load(handle)
+        systems.append((name, payload))
+    return systems
+
+
+def verdict_digest(system, horizon=None) -> str:
+    verdict = verify_system(system, horizon)
+    body = json.dumps(verdict.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def bounds_fingerprint(system):
+    bounds, declined = analyze_bounds(system)
+    return json.dumps({"bounds": bounds, "declined": declined},
+                      sort_keys=True, default=str)
+
+
+# ----------------------------------------------------------------------
+# Per-system parity: off == cold == warm == disk
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,payload", corpus_systems())
+def test_corpus_seed_parity_across_cache_states(tmp_path, name, payload):
+    horizon = payload.get("horizon")
+    baseline = verdict_digest(system_from_dict(payload["system"]), horizon)
+    perf.configure(CacheConfig(True, 4096, str(tmp_path)))
+    cold = verdict_digest(system_from_dict(payload["system"]), horizon)
+    warm = verdict_digest(system_from_dict(payload["system"]), horizon)
+    perf.clear()                     # memory dropped: disk tier serves
+    disk = verdict_digest(system_from_dict(payload["system"]), horizon)
+    assert baseline == cold == warm == disk
+    assert perf.stats()["disk_hits"] > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       size=st.sampled_from(["small", "medium"]))
+def test_generated_system_bounds_parity(seed, size):
+    """Property: for any generated system, analyze_bounds returns the
+    identical bounds and declines with the memo off, cold, and warm."""
+    perf.configure(None)
+    baseline = bounds_fingerprint(generate(seed, size))
+    perf.configure(CacheConfig(True, 4096))
+    cold = bounds_fingerprint(generate(seed, size))
+    warm = bounds_fingerprint(generate(seed, size))
+    perf.configure(None)
+    assert baseline == cold == warm
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generated_system_verdict_parity_includes_telemetry(seed):
+    """Full verify_system parity, including the obs counters the fuzzer
+    folds into coverage signatures (perf.* bookkeeping excluded)."""
+    def run():
+        with obs.capture() as scope:
+            digest = verdict_digest(generate(seed, "small"))
+        counters = {
+            name: value for name, value in
+            scope.snapshot()["metrics"]["counters"].items()
+            if not name.startswith("perf.")}
+        return digest, counters
+
+    perf.configure(None)
+    baseline = run()
+    perf.configure(CacheConfig(True, 4096))
+    cold = run()
+    warm = run()
+    perf.configure(None)
+    assert baseline == cold == warm
+
+
+def test_parity_survives_mid_run_eviction():
+    """capacity=1 forces an eviction on nearly every solve — the memo
+    thrashes constantly and must still change nothing."""
+    systems = [generate(seed, "small") for seed in range(6)]
+    baseline = [bounds_fingerprint(s) for s in systems]
+    perf.configure(CacheConfig(True, 1))
+    thrashed = [bounds_fingerprint(s) for s in systems]
+    stats = perf.stats()
+    perf.configure(None)
+    assert thrashed == baseline
+    assert stats["evictions"] > 0
+
+
+# ----------------------------------------------------------------------
+# Batch parity: verify_many / fuzz digests, jobs and resume
+# ----------------------------------------------------------------------
+def test_verify_many_digest_parity_off_vs_cache():
+    baseline = verify_many(seed=19, count=6, size="small").digest()
+    cached = verify_many(seed=19, count=6, size="small",
+                         cache=CacheConfig(True, 4096)).digest()
+    assert cached == baseline
+    # The cache travelled via the plan's setup hook: the parent-process
+    # memo (jobs=1 runs chunks in-process) actually saw traffic.
+    assert perf.stats() is not None and perf.stats()["misses"] > 0
+
+
+def test_fuzz_digest_parity_off_vs_cache():
+    baseline = fuzz(seed=3, budget=24, jobs=1)
+    cached = fuzz(seed=3, budget=24, jobs=1,
+                  cache=CacheConfig(True, 4096))
+    assert cached.digest() == baseline.digest()
+    assert cached.coverage == baseline.coverage
+    assert perf.stats() is not None and perf.stats()["hits"] > 0
+
+
+@pytest.mark.slow
+def test_verify_many_parity_under_jobs_and_disk(tmp_path):
+    """The full stack at once: jobs=2 pool fan-out with a disk-backed
+    cache shared across workers, against the cache-off serial digest."""
+    baseline = verify_many(seed=23, count=8, size="small").digest()
+    cached = verify_many(
+        seed=23, count=8, size="small", jobs=2,
+        cache=CacheConfig(True, 4096, str(tmp_path))).digest()
+    assert cached == baseline
+    assert os.listdir(tmp_path)      # workers populated the disk tier
+    # A second run hits the now-warm disk tier and still agrees.
+    rewarm = verify_many(
+        seed=23, count=8, size="small", jobs=2,
+        cache=CacheConfig(True, 4096, str(tmp_path))).digest()
+    assert rewarm == baseline
+
+
+@pytest.mark.slow
+def test_verify_many_parity_across_interrupt_and_resume(tmp_path):
+    from repro.errors import ExecutionInterrupted
+
+    baseline = verify_many(seed=29, count=6, size="small").digest()
+    checkpoint = str(tmp_path / "verify.jsonl")
+    cache = CacheConfig(True, 4096, str(tmp_path / "cache"))
+    with pytest.raises(ExecutionInterrupted):
+        verify_many(seed=29, count=6, size="small",
+                    checkpoint=checkpoint, interrupt_after=3,
+                    cache=cache)
+    resumed = verify_many(seed=29, count=6, size="small",
+                          checkpoint=checkpoint, resume=True,
+                          cache=cache)
+    assert resumed.digest() == baseline
+
+
+@pytest.mark.slow
+def test_wide_generated_parity_sweep():
+    """ISSUE acceptance floor: a couple hundred generated systems,
+    cache-off vs cold vs warm, all byte-identical."""
+    seeds = range(200)
+    baseline = [bounds_fingerprint(generate(s, "small")) for s in seeds]
+    perf.configure(CacheConfig(True, 8192))
+    cold = [bounds_fingerprint(generate(s, "small")) for s in seeds]
+    after_cold = perf.stats()
+    warm = [bounds_fingerprint(generate(s, "small")) for s in seeds]
+    stats = perf.stats()
+    perf.configure(None)
+    assert cold == baseline
+    assert warm == baseline
+    # Warm pass re-solves nothing: each system is one composite hit
+    # (the per-layer entries are never even consulted again), and not a
+    # single new miss appears.
+    assert after_cold["misses"] > 0
+    assert stats["misses"] == after_cold["misses"]
+    assert stats["hits"] == after_cold["hits"] + len(seeds)
