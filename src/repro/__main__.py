@@ -1,5 +1,5 @@
 """Command-line entry point: ``python -m repro
-{info,selftest,campaign,verify,fuzz,resilience,stats}``.
+{info,selftest,campaign,verify,fuzz,resilience,model,stats}``.
 
 ``info`` prints the package inventory; ``selftest`` runs a miniature
 end-to-end scenario (component app -> RTE deployment over CAN -> timing
@@ -16,6 +16,13 @@ shrinking.  ``fuzz --until-dry K`` keeps going until K consecutive
 rounds admit no new coverage token.  ``resilience`` injects the
 standard bus-/ECU-level fault scenarios into seeded random systems and
 checks every one is detected within bound, contained, and recovered.
+
+``model`` works with the versioned system exchange format
+(:mod:`repro.model`): validate documents, print deterministic digests,
+convert legacy corpus dicts, and list/validate/run the bundled scenario
+library.  ``verify``, ``resilience`` and ``fuzz`` accept ``--model
+PATH|NAME`` (repeatable) to run explicit model documents — or bundled
+scenarios by name — instead of seeded random systems.
 
 ``campaign``, ``verify`` and ``fuzz`` accept the execution-engine flags
 ``--jobs N`` (process-pool fan-out; any N prints the identical report
@@ -207,6 +214,28 @@ def _make_progress(options, total_chunks: int, total_items: int):
                          emit=lambda line: print(line, file=sys.stderr))
 
 
+def _add_model_argument(parser) -> None:
+    """The model-input flag shared by `verify`, `resilience`, `fuzz`."""
+    parser.add_argument("--model", action="append", default=[],
+                        metavar="PATH|NAME", dest="models",
+                        help="run this model document (file path) or "
+                             "bundled scenario (by name) instead of "
+                             "seeded random systems; repeatable")
+
+
+def _load_models(options, parser):
+    """The validated Models behind every --model flag (or None)."""
+    if not options.models:
+        return None
+    from repro.errors import ConfigurationError
+    from repro.model.cli import model_from_ref
+
+    try:
+        return [model_from_ref(ref) for ref in options.models]
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+
 def _add_telemetry_arguments(parser) -> None:
     """The telemetry export flags shared by `campaign` and `verify`."""
     parser.add_argument("--metrics", metavar="PATH",
@@ -311,6 +340,7 @@ def verify(args: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--systems", type=int, default=25)
     parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    _add_model_argument(parser)
     _add_exec_arguments(parser)
     _add_cache_arguments(parser)
     _add_telemetry_arguments(parser)
@@ -318,18 +348,28 @@ def verify(args: list[str]) -> int:
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
     cache = _cache_config(options, parser)
+    models = _load_models(options, parser)
+    count = len(models) if models else options.systems
     telemetry = _telemetry_wanted(options)
     if telemetry:
         obs.reset()
         obs.enable()
     try:
-        report = verify_many(
-            options.seed, options.systems, options.size,
-            jobs=options.jobs, checkpoint=options.checkpoint,
-            resume=options.resume,
-            progress=_make_progress(options, options.systems,
-                                    options.systems),
-            cache=cache)
+        if models:
+            from repro.model import verify_models
+
+            report = verify_models(
+                models, jobs=options.jobs,
+                checkpoint=options.checkpoint, resume=options.resume,
+                progress=_make_progress(options, count, count),
+                cache=cache)
+        else:
+            report = verify_many(
+                options.seed, options.systems, options.size,
+                jobs=options.jobs, checkpoint=options.checkpoint,
+                resume=options.resume,
+                progress=_make_progress(options, count, count),
+                cache=cache)
     finally:
         if telemetry:
             obs.disable()
@@ -381,6 +421,7 @@ def fuzz_command(args: list[str]) -> int:
     parser.add_argument("--corpus-dir", metavar="DIR", dest="corpus_dir",
                         help="persist minimized counterexamples as JSON "
                              "under DIR (e.g. tests/corpus)")
+    _add_model_argument(parser)
     _add_exec_arguments(parser)
     _add_cache_arguments(parser)
     _add_telemetry_arguments(parser)
@@ -388,6 +429,8 @@ def fuzz_command(args: list[str]) -> int:
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
     cache = _cache_config(options, parser)
+    models = _load_models(options, parser)
+    seeds = None if models is None else [m.build() for m in models]
     telemetry = _telemetry_wanted(options)
     if telemetry:
         obs.reset()
@@ -401,7 +444,7 @@ def fuzz_command(args: list[str]) -> int:
             until_dry=options.until_dry,
             progress=_make_progress(options, options.budget,
                                     options.budget),
-            cache=cache)
+            cache=cache, seeds=seeds)
     finally:
         if telemetry:
             obs.disable()
@@ -436,22 +479,32 @@ def resilience(args: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--systems", type=int, default=3)
     parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    _add_model_argument(parser)
     _add_exec_arguments(parser)
     _add_telemetry_arguments(parser)
     options = parser.parse_args(args)
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
+    models = _load_models(options, parser)
+    count = len(models) if models else options.systems
     telemetry = _telemetry_wanted(options)
     if telemetry:
         obs.reset()
         obs.enable()
     try:
-        report = run_resilience(
-            options.seed, options.systems, options.size,
-            jobs=options.jobs, checkpoint=options.checkpoint,
-            resume=options.resume,
-            progress=_make_progress(options, options.systems,
-                                    options.systems))
+        if models:
+            from repro.model import resilience_models
+
+            report = resilience_models(
+                models, jobs=options.jobs,
+                checkpoint=options.checkpoint, resume=options.resume,
+                progress=_make_progress(options, count, count))
+        else:
+            report = run_resilience(
+                options.seed, options.systems, options.size,
+                jobs=options.jobs, checkpoint=options.checkpoint,
+                resume=options.resume,
+                progress=_make_progress(options, count, count))
     finally:
         if telemetry:
             obs.disable()
@@ -498,11 +551,15 @@ def main(argv: list[str]) -> int:
         return fuzz_command(argv[2:])
     if command == "resilience":
         return resilience(argv[2:])
+    if command == "model":
+        from repro.model.cli import model_command
+
+        return model_command(argv[2:])
     if command == "stats":
         return stats(argv[2:])
     print(f"unknown command {command!r}; "
           f"use 'info', 'selftest', 'campaign', 'verify', 'fuzz', "
-          f"'resilience' or 'stats'")
+          f"'resilience', 'model' or 'stats'")
     return 2
 
 

@@ -1,0 +1,224 @@
+"""The ``repro model`` subcommand: work with model documents directly.
+
+=========================  ===========================================
+``validate PATH|NAME ...``  schema-check documents; print every problem
+``digest PATH|NAME ...``    print each document's deterministic SHA-256
+``convert PATH``            re-emit any accepted input (model document,
+                            legacy corpus dict, counterexample payload)
+                            as a canonical model document
+``scenarios list``          the bundled scenario library
+``scenarios validate``      CI gate: every bundled scenario validates
+                            and round-trips digest-identically
+``scenarios run [NAME...]`` verify + resilience matrix per scenario
+                            (the EXPERIMENTS E18 table)
+=========================  ===========================================
+
+Exit codes follow the convention: ``0`` everything valid / every
+obligation met, ``1`` a document is invalid or a verification failed,
+``2`` an input could not be read at all (missing file, broken JSON,
+usage error — argparse's own convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.model.build import (Model, load_document, resilience_models,
+                               verify_models)
+from repro.model.scenarios import (SCENARIO_FILES, scenario_description,
+                                   scenario_names, scenario_path)
+from repro.model.schema import model_digest, validate_document
+
+#: Exit codes: valid / invalid / unreadable.
+EXIT_OK, EXIT_INVALID, EXIT_UNREADABLE = 0, 1, 2
+
+
+def _load_ref(ref: str) -> dict:
+    """The document behind ``ref``: a bundled scenario name or a file
+    path.  Raises :class:`ConfigurationError` (unreadable) only."""
+    if ref in SCENARIO_FILES:
+        return load_document(scenario_path(ref))
+    try:
+        return load_document(ref)
+    except OSError as exc:
+        raise ConfigurationError(f"{ref}: cannot read ({exc})")
+
+
+def model_from_ref(ref: str) -> Model:
+    """The validated :class:`Model` behind a path or scenario name
+    (accepts legacy corpus dicts too, like ``convert``)."""
+    return Model.from_data(_load_ref(ref))
+
+
+def _validate(refs: list[str]) -> int:
+    status = EXIT_OK
+    for ref in refs:
+        try:
+            document = _load_ref(ref)
+        except ConfigurationError as exc:
+            print(f"{ref}: UNREADABLE — {exc}", file=sys.stderr)
+            status = max(status, EXIT_UNREADABLE)
+            continue
+        problems = validate_document(document)
+        if problems:
+            print(f"{ref}: INVALID ({len(problems)} problem(s))")
+            for problem in problems:
+                print(f"  {problem}")
+            status = max(status, EXIT_INVALID)
+        else:
+            print(f"{ref}: OK digest={model_digest(document)[:16]}")
+    return status
+
+
+def _digest(refs: list[str]) -> int:
+    status = EXIT_OK
+    for ref in refs:
+        try:
+            document = _load_ref(ref)
+        except ConfigurationError as exc:
+            print(f"{ref}: UNREADABLE — {exc}", file=sys.stderr)
+            status = max(status, EXIT_UNREADABLE)
+            continue
+        problems = validate_document(document)
+        if problems:
+            print(f"{ref}: INVALID ({len(problems)} problem(s))",
+                  file=sys.stderr)
+            status = max(status, EXIT_INVALID)
+            continue
+        print(f"{model_digest(document)}  {ref}")
+    return status
+
+
+def _convert(ref: str, output: Optional[str]) -> int:
+    try:
+        data = _load_ref(ref)
+    except ConfigurationError as exc:
+        print(f"{ref}: UNREADABLE — {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
+    try:
+        model = Model.from_data(data)
+    except ConfigurationError as exc:
+        print(f"{ref}: {exc}", file=sys.stderr)
+        return EXIT_INVALID
+    text = model.to_json()
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {output} digest={model.digest()[:16]}")
+    else:
+        print(text)
+    return EXIT_OK
+
+
+def _scenarios_list() -> int:
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        print(f"{name:<{width}}  {scenario_description(name)}")
+    return EXIT_OK
+
+
+def _scenarios_validate() -> int:
+    """The CI gate: every bundled scenario document must validate and
+    round-trip (model -> live system -> model) digest-identically."""
+    status = EXIT_OK
+    for name in scenario_names():
+        document = load_document(scenario_path(name))
+        problems = validate_document(document)
+        if problems:
+            print(f"{name}: INVALID ({len(problems)} problem(s))")
+            for problem in problems:
+                print(f"  {problem}")
+            status = EXIT_INVALID
+            continue
+        model = Model.from_document(document, validate=False)
+        digest = model.digest()
+        again = model.roundtrip().digest()
+        if digest != again:
+            print(f"{name}: ROUND-TRIP MISMATCH {digest[:16]} != "
+                  f"{again[:16]}")
+            status = EXIT_INVALID
+        else:
+            print(f"{name}: OK digest={digest[:16]} round-trip=identical")
+    return status
+
+
+def _scenarios_run(names: list[str], jobs: int) -> int:
+    names = names or scenario_names()
+    try:
+        models = [Model.from_document(load_document(scenario_path(name)))
+                  for name in names]
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_UNREADABLE
+    status = EXIT_OK
+    width = max(len(name) for name in names)
+    for name, model in zip(names, models):
+        verification = verify_models([model], jobs=jobs)
+        resilience = resilience_models([model], jobs=jobs)
+        passed = verification.passed and resilience.passed
+        checks = sum(len(v.checks) for v in verification.verdicts)
+        scenarios = sum(len(row["verdicts"]) for row in resilience.rows)
+        print(f"{name:<{width}}  verify={'PASS' if verification.passed else 'FAIL'} "
+              f"(checks={checks} soundness="
+              f"{verification.soundness_violations} invariants="
+              f"{verification.invariant_violations})  "
+              f"resilience={'PASS' if resilience.passed else 'FAIL'} "
+              f"(scenarios={scenarios} unmet={resilience.unmet})")
+        if not passed:
+            status = EXIT_INVALID
+    print(f"scenario matrix: {'PASS' if status == EXIT_OK else 'FAIL'} "
+          f"({len(names)} scenario(s))")
+    return status
+
+
+def model_command(args: list[str]) -> int:
+    """Entry point for ``repro model ...`` (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro model",
+        description="validate, digest, convert and run system model "
+                    "documents (bundled scenarios addressable by name)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sub = commands.add_parser(
+        "validate", help="schema-check documents; exit 1 on any problem")
+    sub.add_argument("refs", nargs="+", metavar="PATH|NAME")
+
+    sub = commands.add_parser(
+        "digest", help="print each valid document's deterministic digest")
+    sub.add_argument("refs", nargs="+", metavar="PATH|NAME")
+
+    sub = commands.add_parser(
+        "convert", help="re-emit any accepted input (model document, "
+                        "legacy corpus dict, counterexample payload) as "
+                        "a canonical model document")
+    sub.add_argument("ref", metavar="PATH|NAME")
+    sub.add_argument("--output", "-o", metavar="PATH",
+                     help="write here instead of stdout")
+
+    scenarios = commands.add_parser(
+        "scenarios", help="the bundled scenario library")
+    actions = scenarios.add_subparsers(dest="action", required=True)
+    actions.add_parser("list", help="names + one-line descriptions")
+    actions.add_parser(
+        "validate", help="CI gate: validate + round-trip every scenario")
+    sub = actions.add_parser(
+        "run", help="verify + resilience matrix per scenario (E18)")
+    sub.add_argument("names", nargs="*", metavar="NAME",
+                     help="scenario names (default: all)")
+    sub.add_argument("--jobs", type=int, default=1)
+
+    options = parser.parse_args(args)
+    if options.command == "validate":
+        return _validate(options.refs)
+    if options.command == "digest":
+        return _digest(options.refs)
+    if options.command == "convert":
+        return _convert(options.ref, options.output)
+    if options.action == "list":
+        return _scenarios_list()
+    if options.action == "validate":
+        return _scenarios_validate()
+    return _scenarios_run(options.names, options.jobs)

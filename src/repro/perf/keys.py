@@ -31,10 +31,13 @@ from __future__ import annotations
 import hashlib
 import pickle
 
+from repro.model.convert import (can_to_dict as _can_to_dict,
+                                 chain_to_dict as _chain_to_dict,
+                                 flexray_to_dict as _flexray_to_dict,
+                                 task_to_dict as _task_to_dict,
+                                 tdma_to_dict as _tdma_to_dict)
 from repro.verify.generator import GeneratedSystem
-from repro.verify.serialize import (_can_to_dict, _chain_to_dict,
-                                    _flexray_to_dict, _task_to_dict,
-                                    _tdma_to_dict, system_to_dict)
+from repro.verify.serialize import system_to_dict
 
 #: Bumped whenever a slice's shape (or the digest encoding) changes, so
 #: stale on-disk entries from older builds can never collide with

@@ -308,7 +308,7 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
          shrink_probes: int = 2000,
          interrupt_after: Optional[int] = None,
          until_dry: Optional[int] = None,
-         cache=None) -> FuzzReport:
+         cache=None, seeds=None) -> FuzzReport:
     """Run one coverage-guided fuzzing campaign of ``budget`` verify
     executions (shrink probes are not counted against the budget).
 
@@ -337,6 +337,11 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
     Counter replay plus the ``perf.*`` signature filter keep coverage
     tokens, corpus admission, and report digests byte-identical to an
     uncached campaign.
+
+    ``seeds`` (a sequence of :class:`GeneratedSystem`) replaces the
+    generated seed round: the campaign starts from exactly those
+    systems — e.g. model documents (``repro fuzz --model``) — and
+    mutates outward from them.
     """
     from repro.exec import Plan, execute
     from repro.exec.shard import derive_seed
@@ -358,8 +363,11 @@ def fuzz(seed: int, budget: int, size: str = "small", jobs: int = 1,
             break
 
         if round_no == 0:
-            count = min(seed_batch, budget)
-            systems = generate_many(seed, count, size)
+            if seeds is not None:
+                systems = list(seeds)[:budget]
+            else:
+                count = min(seed_batch, budget)
+                systems = generate_many(seed, count, size)
             items = tuple((system, f"seed:{index}", "")
                           for index, system in enumerate(systems))
         else:

@@ -1,130 +1,63 @@
-"""JSON round-trip for :class:`~repro.verify.generator.GeneratedSystem`.
+"""Legacy JSON round-trip for :class:`~repro.verify.generator.GeneratedSystem`.
 
-The fuzzer persists minimized counterexamples to a regression corpus
-(``tests/corpus/*.json``) that pytest replays forever after, so a
-generated system must survive a trip through plain JSON byte-exactly:
-``system_from_dict(system_to_dict(s))`` reconstructs a system whose
-oracle verdict — bounds, observations, invariants, digest — is
-indistinguishable from the original's.
+This is the **corpus format**: the flat system dict the fuzzer has
+persisted under ``tests/corpus/`` since PR 5, which pytest replays
+forever after — so a generated system must survive a trip through
+plain JSON byte-exactly: ``system_from_dict(system_to_dict(s))``
+reconstructs a system whose oracle verdict — bounds, observations,
+invariants, digest — is indistinguishable from the original's.
 
-The format is deliberately explicit (every field spelled out, no
-pickling) so a human can read a counterexample file and see the three
-tasks and one bus frame that break a bound.  ``FORMAT`` is bumped on
-incompatible changes; the loader refuses unknown versions instead of
-guessing.
+All per-subsystem field layouts are delegated to
+:mod:`repro.model.convert`, the converter layer shared with the
+versioned exchange format of :mod:`repro.model` — one source of truth,
+so the corpus byte layout and the model document can never drift
+apart.  (The delegation is lazy: ``repro.model`` imports this package's
+siblings, and resolving the converters at call time keeps both import
+orders — ``import repro.verify`` first or ``import repro.model`` first
+— cycle-free.)  New descriptions should use the model format
+(``repro model``, :class:`repro.model.Model`); this module remains the
+loader for the existing corpus and for fuzz-internal persistence, and
+:func:`system_from_dict` additionally accepts a model document and
+routes it through :func:`repro.model.build.system_from_model`.
+
+``FORMAT`` is bumped on incompatible changes; the loader refuses
+unknown versions instead of guessing.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.com.ipdu import IPdu, SignalMapping
-from repro.com.packing import PackedFrame
-from repro.com.signal import SignalSpec
 from repro.errors import ConfigurationError
-from repro.network.can import CanFrameSpec
-from repro.network.flexray import (DynamicFrameSpec, FlexRayConfig,
-                                   StaticSlotAssignment)
-from repro.osek.task import TaskSpec
-from repro.verify.generator import (CanPlan, ChainPlan, CriticalSection,
-                                    DynamicWriter, FaultScenario,
-                                    FlexRayPlan, GeneratedSystem,
-                                    StaticWriter, TdmaPlan)
+from repro.verify.generator import CriticalSection, GeneratedSystem
 
 #: Corpus file format version (bumped on incompatible changes).
 #: Format 2 added the ``faults`` list (injected fault scenarios); the
 #: loader still reads format-1 files as fault-free systems.
 FORMAT = 2
 
-
-# ----------------------------------------------------------------------
-# to dict
-# ----------------------------------------------------------------------
-def _task_to_dict(task: TaskSpec) -> dict:
-    return {"name": task.name, "wcet": task.wcet, "period": task.period,
-            "offset": task.offset, "deadline": task.deadline,
-            "priority": task.priority, "partition": task.partition,
-            "max_activations": task.max_activations, "budget": task.budget,
-            "jitter": task.jitter, "bcet": task.bcet,
-            "criticality": task.criticality}
+#: Pre-``repro.model`` private converter names, kept importable (as
+#: ``serialize._task_to_dict`` etc.) for corpus tooling written
+#: against them; resolved lazily via module ``__getattr__``.
+_FORWARDED = ("task", "signal", "ipdu", "frame_spec", "can", "flexray",
+              "chain", "tdma", "fault")
 
 
-def _signal_to_dict(spec: SignalSpec) -> dict:
-    return {"name": spec.name, "width_bits": spec.width_bits,
-            "initial": spec.initial, "transfer": spec.transfer,
-            "timeout": spec.timeout}
-
-
-def _ipdu_to_dict(ipdu: IPdu) -> dict:
-    return {"name": ipdu.name, "size_bytes": ipdu.size_bytes,
-            "mappings": [{"signal": _signal_to_dict(m.spec),
-                          "start_bit": m.start_bit,
-                          "update_bit": m.update_bit}
-                         for m in ipdu.mappings]}
-
-
-def _frame_spec_to_dict(spec: CanFrameSpec) -> dict:
-    return {"name": spec.name, "can_id": spec.can_id, "dlc": spec.dlc,
-            "period": spec.period, "deadline": spec.deadline,
-            "extended": spec.extended, "jitter": spec.jitter}
-
-
-def _can_to_dict(can: CanPlan) -> dict:
-    return {"bitrate_bps": can.bitrate_bps,
-            "frames": [{"ipdu": _ipdu_to_dict(f.ipdu), "period": f.period,
-                        "sender": f.sender} for f in can.frames],
-            "frame_specs": [_frame_spec_to_dict(s)
-                            for s in can.frame_specs]}
-
-
-def _flexray_to_dict(plan: FlexRayPlan) -> dict:
-    config = plan.config
-    return {
-        "config": {"slot_length": config.slot_length,
-                   "n_static_slots": config.n_static_slots,
-                   "minislot_length": config.minislot_length,
-                   "n_minislots": config.n_minislots,
-                   "nit_length": config.nit_length,
-                   "bitrate_bps": config.bitrate_bps},
-        "nodes": list(plan.nodes),
-        "static_writers": [
-            {"slot": w.assignment.slot, "node": w.assignment.node,
-             "frame_name": w.assignment.frame_name,
-             "base_cycle": w.assignment.base_cycle,
-             "repetition": w.assignment.repetition,
-             "period": w.period, "offset": w.offset}
-            for w in plan.static_writers],
-        "dynamic_writers": [
-            {"name": w.spec.name, "frame_id": w.spec.frame_id,
-             "size_bytes": w.spec.size_bytes, "node": w.node,
-             "period": w.period, "offset": w.offset}
-            for w in plan.dynamic_writers],
-    }
-
-
-def _chain_to_dict(chain: ChainPlan) -> dict:
-    return {"producer": chain.producer, "producer_ecu": chain.producer_ecu,
-            "consumer": chain.consumer, "consumer_ecu": chain.consumer_ecu,
-            "signal_name": chain.signal_name,
-            "signal_bits": chain.signal_bits, "pdu_name": chain.pdu_name,
-            "period": chain.period, "data_id": chain.data_id,
-            "counter_bits": chain.counter_bits,
-            "max_delta_counter": chain.max_delta_counter,
-            "timeout": chain.timeout}
-
-
-def _tdma_to_dict(plan: TdmaPlan) -> dict:
-    return {"ecu": plan.ecu, "partitions": list(plan.partitions),
-            "major_frame": plan.major_frame,
-            "tasks": [_task_to_dict(t) for t in plan.tasks]}
+def __getattr__(name: str):
+    for piece in _FORWARDED:
+        for direction in ("to", "from"):
+            if name == f"_{piece}_{direction}_dict":
+                from repro.model import convert
+                return getattr(convert, f"{piece}_{direction}_dict")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def system_to_dict(system: GeneratedSystem) -> dict:
     """One JSON-able dict capturing the complete generated system."""
+    from repro.model import convert
+
     return {
         "format": FORMAT,
         "name": system.name, "seed": system.seed, "size": system.size,
-        "tasksets": {ecu: [_task_to_dict(t) for t in tasks]
+        "tasksets": {ecu: [convert.task_to_dict(t) for t in tasks]
                      for ecu, tasks in sorted(system.tasksets.items())},
         "resources": dict(sorted(system.resources.items())),
         "critical_sections": [
@@ -132,110 +65,50 @@ def system_to_dict(system: GeneratedSystem) -> dict:
              "duration": s.duration, "post": s.post}
             for s in system.critical_sections],
         "chain": (None if system.chain is None
-                  else _chain_to_dict(system.chain)),
-        "can": None if system.can is None else _can_to_dict(system.can),
+                  else convert.chain_to_dict(system.chain)),
+        "can": (None if system.can is None
+                else convert.can_to_dict(system.can)),
         "flexray": (None if system.flexray is None
-                    else _flexray_to_dict(system.flexray)),
-        "tdma": None if system.tdma is None else _tdma_to_dict(system.tdma),
-        "faults": [{"kind": f.kind, "start": f.start,
-                    "duration": f.duration, "target": f.target}
-                   for f in system.faults],
+                    else convert.flexray_to_dict(system.flexray)),
+        "tdma": (None if system.tdma is None
+                 else convert.tdma_to_dict(system.tdma)),
+        "faults": [convert.fault_to_dict(f) for f in system.faults],
     }
 
 
-# ----------------------------------------------------------------------
-# from dict
-# ----------------------------------------------------------------------
-def _task_from_dict(data: dict) -> TaskSpec:
-    return TaskSpec(data["name"], data["wcet"], period=data["period"],
-                    offset=data["offset"], deadline=data["deadline"],
-                    priority=data["priority"], partition=data["partition"],
-                    max_activations=data["max_activations"],
-                    budget=data["budget"], jitter=data["jitter"],
-                    bcet=data["bcet"], criticality=data["criticality"])
-
-
-def _signal_from_dict(data: dict) -> SignalSpec:
-    return SignalSpec(data["name"], data["width_bits"],
-                      initial=data["initial"], transfer=data["transfer"],
-                      timeout=data["timeout"])
-
-
-def _ipdu_from_dict(data: dict) -> IPdu:
-    return IPdu(data["name"], data["size_bytes"],
-                [SignalMapping(_signal_from_dict(m["signal"]),
-                               m["start_bit"], m["update_bit"])
-                 for m in data["mappings"]])
-
-
-def _frame_spec_from_dict(data: dict) -> CanFrameSpec:
-    return CanFrameSpec(data["name"], data["can_id"], dlc=data["dlc"],
-                        period=data["period"], deadline=data["deadline"],
-                        extended=data["extended"], jitter=data["jitter"])
-
-
-def _can_from_dict(data: dict) -> CanPlan:
-    return CanPlan(
-        data["bitrate_bps"],
-        tuple(PackedFrame(_ipdu_from_dict(f["ipdu"]), f["period"],
-                          f["sender"]) for f in data["frames"]),
-        tuple(_frame_spec_from_dict(s) for s in data["frame_specs"]))
-
-
-def _flexray_from_dict(data: dict) -> FlexRayPlan:
-    cfg = data["config"]
-    config = FlexRayConfig(cfg["slot_length"], cfg["n_static_slots"],
-                           minislot_length=cfg["minislot_length"],
-                           n_minislots=cfg["n_minislots"],
-                           nit_length=cfg["nit_length"],
-                           bitrate_bps=cfg["bitrate_bps"])
-    static = tuple(
-        StaticWriter(StaticSlotAssignment(w["slot"], w["node"],
-                                          w["frame_name"], w["base_cycle"],
-                                          w["repetition"]),
-                     w["period"], w["offset"])
-        for w in data["static_writers"])
-    dynamic = tuple(
-        DynamicWriter(DynamicFrameSpec(w["name"], frame_id=w["frame_id"],
-                                       size_bytes=w["size_bytes"]),
-                      w["node"], w["period"], w["offset"])
-        for w in data["dynamic_writers"])
-    return FlexRayPlan(config, tuple(data["nodes"]), static, dynamic)
-
-
-def _chain_from_dict(data: dict) -> ChainPlan:
-    return ChainPlan(**data)
-
-
-def _tdma_from_dict(data: dict) -> TdmaPlan:
-    return TdmaPlan(data["ecu"], tuple(data["partitions"]),
-                    data["major_frame"],
-                    tuple(_task_from_dict(t) for t in data["tasks"]))
-
-
 def system_from_dict(data: dict) -> GeneratedSystem:
-    """Reconstruct a system from :func:`system_to_dict` output."""
+    """Reconstruct a system from :func:`system_to_dict` output.
+
+    Also accepts a :mod:`repro.model` document (detected by its
+    ``format`` tag) — validated and compiled through
+    :func:`repro.model.build.system_from_model` — so every consumer of
+    the legacy loader can read the new exchange format for free.
+    """
+    from repro.model import build, convert, schema
+
+    if schema.is_model_document(data):
+        schema.ensure_valid(data)
+        return build.system_from_model(data)
     version = data.get("format")
     if version not in (1, FORMAT):
         raise ConfigurationError(
             f"system dict has format {version!r}; this build reads "
-            f"formats 1..{FORMAT}")
+            f"formats 1..{FORMAT} and repro.model documents")
     system = GeneratedSystem(data["name"], data["seed"], data["size"])
-    system.tasksets = {ecu: [_task_from_dict(t) for t in tasks]
+    system.tasksets = {ecu: [convert.task_from_dict(t) for t in tasks]
                        for ecu, tasks in data["tasksets"].items()}
     system.resources = dict(data["resources"])
     system.critical_sections = [
         CriticalSection(s["task"], s["resource"], s["pre"], s["duration"],
                         s["post"]) for s in data["critical_sections"]]
     if data["chain"] is not None:
-        system.chain = _chain_from_dict(data["chain"])
+        system.chain = convert.chain_from_dict(data["chain"])
     if data["can"] is not None:
-        system.can = _can_from_dict(data["can"])
+        system.can = convert.can_from_dict(data["can"])
     if data["flexray"] is not None:
-        system.flexray = _flexray_from_dict(data["flexray"])
+        system.flexray = convert.flexray_from_dict(data["flexray"])
     if data["tdma"] is not None:
-        system.tdma = _tdma_from_dict(data["tdma"])
-    system.faults = [FaultScenario(f["kind"], f["start"], f["duration"],
-                                   f.get("target", ""))
+        system.tdma = convert.tdma_from_dict(data["tdma"])
+    system.faults = [convert.fault_from_dict(f)
                      for f in data.get("faults", ())]
     return system

@@ -1,0 +1,92 @@
+"""The bundled scenario library's pinned guarantees (EXPERIMENTS E18).
+
+Every committed scenario document must (1) validate against the
+schema, (2) round-trip digest-identically through the live system
+objects, (3) pass differential verification with zero soundness and
+invariant violations, and (4) meet every supported resilience
+obligation.  A scenario edit that breaks any of these fails here
+before it reaches CI's model-smoke job.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import (load_scenario, model_digest, resilience_models,
+                         scenario_description, scenario_names,
+                         scenario_path, validate_document, verify_models)
+from repro.model.build import load_document
+
+EXPECTED = ["adas-fusion", "flexray-mixed", "gateway-multibus",
+            "limp-home", "tdma-overload"]
+
+
+def test_library_inventory():
+    assert scenario_names() == EXPECTED
+    for name in EXPECTED:
+        assert scenario_description(name)
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ConfigurationError) as excinfo:
+        scenario_path("no-such-scenario")
+    assert "adas-fusion" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_scenario_validates(name):
+    assert validate_document(load_document(scenario_path(name))) == []
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_scenario_digest_roundtrip(name):
+    model = load_scenario(name)
+    assert model.roundtrip().digest() == model.digest()
+    # the committed file is already in canonical (sorted) form, so the
+    # digest is reproducible straight from the document on disk
+    assert model_digest(load_document(scenario_path(name))) == \
+        model.digest()
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_scenario_verifies_cleanly(name):
+    report = verify_models([load_scenario(name)])
+    assert report.soundness_violations == 0
+    assert report.invariant_violations == 0
+    assert report.passed
+    assert all(not v.declined for v in report.verdicts)
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_scenario_resilience_obligations_met(name):
+    report = resilience_models([load_scenario(name)])
+    assert report.unmet == 0
+    assert report.passed
+
+
+def test_limp_home_covers_every_chain_fault_kind():
+    """The recovery-cascade scenario declares the full chain fault
+    matrix explicitly (it is the scenario about recovery)."""
+    model = load_scenario("limp-home")
+    kinds = {s["kind"]
+             for s in model.document["resilience"]["scenarios"]}
+    assert {"e2e-corruption", "e2e-loss", "e2e-delay",
+            "can-error-burst", "can-bus-off", "ecu-reset"} <= kinds
+
+
+def test_tdma_overload_is_in_the_multi_activation_regime():
+    """The TDMA scenario exists to pin the queued-activation busy
+    window: its workhorse task needs more than one major frame of
+    partition supply per job."""
+    system = load_scenario("tdma-overload").build()
+    plan = system.tdma
+    assert plan is not None
+    heavy = max(plan.tasks, key=lambda t: t.wcet)
+    assert heavy.wcet > plan.major_frame // len(plan.partitions)
+    assert heavy.max_activations >= 2
+
+
+def test_batch_runs_share_one_report():
+    models = [load_scenario(name) for name in EXPECTED]
+    report = verify_models(models, jobs=2)
+    assert report.count == len(EXPECTED)
+    assert report.passed

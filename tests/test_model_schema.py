@@ -1,0 +1,127 @@
+"""Schema validation error paths of :mod:`repro.model.schema`.
+
+The validator's contract is that every rejection names the offending
+path and says what is wrong in plain words — these tests pin the
+messages for the error classes the ISSUE calls out (unknown format
+version, missing subsystem section, dangling references) plus the
+aggregate behaviours (multiple problems reported at once, the
+exception type hierarchy, digest canonicalization).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import (Model, ModelValidationError, model_digest,
+                         validate_document)
+from repro.model.scenarios import load_scenario
+
+
+def _valid_doc():
+    """A known-valid document to perturb (deep copy via JSON)."""
+    doc = load_scenario("adas-fusion").document
+    return json.loads(json.dumps(doc))
+
+
+def test_valid_document_has_no_problems():
+    assert validate_document(_valid_doc()) == []
+
+
+def test_not_a_model_document():
+    problems = validate_document({"tasksets": {}})
+    assert problems
+    assert "format" in problems[0]
+
+
+def test_unknown_format_version():
+    doc = _valid_doc()
+    doc["format_version"] = 99
+    problems = validate_document(doc)
+    assert len(problems) == 1
+    assert "format_version: unknown version 99" in problems[0]
+    assert "version(s) 1" in problems[0]
+
+
+def test_missing_subsystem_section():
+    doc = _valid_doc()
+    del doc["osek"]
+    problems = validate_document(doc)
+    assert any("missing required section 'osek'" in p for p in problems)
+
+
+def test_missing_com_section():
+    doc = _valid_doc()
+    del doc["com"]
+    problems = validate_document(doc)
+    assert any("missing required section 'com'" in p for p in problems)
+
+
+def test_dangling_signal_to_frame_reference():
+    doc = _valid_doc()
+    doc["com"]["frames"][0]["ipdu"]["name"] = "GHOST"
+    problems = validate_document(doc)
+    assert any("GHOST" in p and "dangling" in p for p in problems)
+
+
+def test_dangling_chain_task_reference():
+    doc = _valid_doc()
+    doc["com"]["chains"][0]["producer"] = "NOPE.task"
+    problems = validate_document(doc)
+    assert any("'NOPE.task'" in p and "is not a task of ECU" in p
+               for p in problems)
+
+
+def test_dangling_critical_section_references():
+    doc = _valid_doc()
+    doc["osek"]["critical_sections"][0]["resource"] = "R.ghost"
+    problems = validate_document(doc)
+    assert any("R.ghost" in p for p in problems)
+
+
+def test_reserved_network_must_be_null():
+    doc = _valid_doc()
+    doc["network"]["ttp"] = {"nodes": 4}
+    problems = validate_document(doc)
+    assert any("ttp" in p and "reserved" in p for p in problems)
+
+
+def test_duplicate_task_names():
+    doc = _valid_doc()
+    ecu = doc["osek"]["ecus"]["RDR"]
+    ecu["tasks"].append(dict(ecu["tasks"][0]))
+    problems = validate_document(doc)
+    assert any("duplicate task name" in p for p in problems)
+
+
+def test_multiple_problems_reported_together():
+    doc = _valid_doc()
+    doc["network"]["ttp"] = {"nodes": 4}
+    doc["com"]["chains"][0]["consumer"] = "NOPE.sink"
+    problems = validate_document(doc)
+    assert len(problems) >= 2
+
+
+def test_ensure_valid_raises_model_validation_error():
+    doc = _valid_doc()
+    doc["format_version"] = 99
+    with pytest.raises(ModelValidationError) as excinfo:
+        Model.from_document(doc)
+    assert excinfo.value.problems
+    assert "unknown version" in str(excinfo.value)
+    # ModelValidationError is a ConfigurationError: existing callers
+    # that catch the base class keep working.
+    assert isinstance(excinfo.value, ConfigurationError)
+
+
+def test_digest_key_order_invariant():
+    doc = _valid_doc()
+    shuffled = {key: doc[key] for key in reversed(list(doc))}
+    assert model_digest(doc) == model_digest(shuffled)
+
+
+def test_digest_sensitive_to_content():
+    doc = _valid_doc()
+    digest = model_digest(doc)
+    doc["meta"]["name"] = "renamed"
+    assert model_digest(doc) != digest
