@@ -1,5 +1,5 @@
 """Command-line entry point: ``python -m repro
-{info,selftest,campaign,verify,fuzz,resilience,model,stats}``.
+{info,selftest,campaign,verify,fuzz,resilience,model,meas,stats}``.
 
 ``info`` prints the package inventory; ``selftest`` runs a miniature
 end-to-end scenario (component app -> RTE deployment over CAN -> timing
@@ -34,6 +34,15 @@ flags ``--metrics PATH`` (Prometheus text), ``--trace-out PATH``
 ``--events PATH`` (JSONL event log).  ``stats`` summarizes any of those
 exported files: top spans by cumulative time, histogram percentiles,
 and the DLT error-event table.
+
+``meas`` is the measurement & calibration plane (:mod:`repro.meas`):
+print the A2L-style registry generated from a model, run cyclic DAQ
+sampling over model documents (``meas daq``), and inspect columnar MTF
+mass-trace stores (``meas mtf``).  ``campaign`` and ``verify`` accept
+``--daq`` / ``--daq-period-us`` / ``--mtf-out`` to sample the default
+DAQ list alongside each run; the measurement digest printed is
+invariant under ``--jobs`` and ``--resume``, and MTF files are
+summarized by ``stats``.
 """
 
 from __future__ import annotations
@@ -63,6 +72,8 @@ def info() -> int:
         ("repro.verify", "differential oracle, invariants, fuzz + shrink"),
         ("repro.exec", "deterministic parallel sweeps + checkpointing"),
         ("repro.obs", "telemetry: metrics, spans, DLT log, exporters"),
+        ("repro.model", "versioned exchange format + bundled scenarios"),
+        ("repro.meas", "XCP-like measurement/calibration + MTF store"),
         ("repro.legacy", "CAN overlay middleware"),
     ]
     for module, description in subsystems:
@@ -236,6 +247,57 @@ def _load_models(options, parser):
         parser.error(str(exc))
 
 
+def _add_daq_arguments(parser) -> None:
+    """The measurement flags shared by `campaign` and `verify`."""
+    parser.add_argument("--daq", action="store_true",
+                        help="attach the measurement service and run "
+                             "the default DAQ sampling list alongside "
+                             "each run (prints the jobs/resume-"
+                             "invariant measurement digest)")
+    parser.add_argument("--daq-period-us", type=int, default=1000,
+                        dest="daq_period_us", metavar="US",
+                        help="DAQ sampling period in µs (default 1000)")
+    parser.add_argument("--mtf-out", metavar="PATH", dest="mtf_out",
+                        help="write the DAQ samples to this columnar "
+                             "MTF store (requires --daq; summarize "
+                             "with `repro stats`)")
+
+
+def _daq_period(options, parser):
+    """The DAQ period in ns (None when --daq was not given)."""
+    if options.mtf_out and not options.daq:
+        parser.error("--mtf-out requires --daq")
+    if not options.daq:
+        return None
+    if options.daq_period_us < 1:
+        parser.error("--daq-period-us must be >= 1")
+    from repro.units import us
+
+    return us(options.daq_period_us)
+
+
+def _emit_daq(options, pairs, sample_count: int,
+              measurement_digest: str) -> None:
+    """Print the measurement digest and write the optional MTF store.
+
+    ``pairs`` is ``[(label, rows), ...]`` with rows shaped
+    ``[time, daq_list, entry, value]``; entries are namespaced by
+    label in the store so several systems share one file."""
+    print(f"daq samples: {sample_count}")
+    print(f"measurement digest: sha256:{measurement_digest}")
+    if not options.mtf_out:
+        return
+    from repro.meas.mtf import MtfWriter
+
+    with MtfWriter(options.mtf_out) as writer:
+        for label, rows in sorted(pairs, key=lambda pair: pair[0]):
+            writer.write_batch([
+                (time, f"daq.{daq_name}", f"{label}:{entry}",
+                 {"value": value})
+                for time, daq_name, entry, value in rows])
+    print(f"wrote {options.mtf_out} ({sample_count} samples)")
+
+
 def _add_telemetry_arguments(parser) -> None:
     """The telemetry export flags shared by `campaign` and `verify`."""
     parser.add_argument("--metrics", metavar="PATH",
@@ -283,9 +345,11 @@ def campaign(args: list[str]) -> int:
                         help="run a single corruption cell (CI gate)")
     _add_exec_arguments(parser)
     _add_telemetry_arguments(parser)
+    _add_daq_arguments(parser)
     options = parser.parse_args(args)
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
+    daq_period = _daq_period(options, parser)
 
     cells = reference_cells()
     if options.smoke:
@@ -298,7 +362,8 @@ def campaign(args: list[str]) -> int:
         report = run_campaign(
             ReferenceWorld, cells, horizon=ms(300), jobs=options.jobs,
             checkpoint=options.checkpoint, resume=options.resume,
-            progress=_make_progress(options, len(cells), len(cells)))
+            progress=_make_progress(options, len(cells), len(cells)),
+            daq_period=daq_period)
     finally:
         if telemetry:
             obs.disable()
@@ -311,6 +376,11 @@ def campaign(args: list[str]) -> int:
               f"recovered={result.recovered}")
     print(format_robustness(robustness_report(report)))
     print(f"report digest: sha256:{report.digest()}")
+    if options.daq:
+        _emit_daq(options,
+                  [(result.cell.label, result.daq_rows)
+                   for result in report.results],
+                  report.daq_sample_count, report.measurement_digest())
     if telemetry:
         _export_telemetry(options)
     corrupted = sum(r.extra.get("undetected_corrupted", 0)
@@ -344,11 +414,13 @@ def verify(args: list[str]) -> int:
     _add_exec_arguments(parser)
     _add_cache_arguments(parser)
     _add_telemetry_arguments(parser)
+    _add_daq_arguments(parser)
     options = parser.parse_args(args)
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint")
     cache = _cache_config(options, parser)
     models = _load_models(options, parser)
+    daq_period = _daq_period(options, parser)
     count = len(models) if models else options.systems
     telemetry = _telemetry_wanted(options)
     if telemetry:
@@ -362,19 +434,24 @@ def verify(args: list[str]) -> int:
                 models, jobs=options.jobs,
                 checkpoint=options.checkpoint, resume=options.resume,
                 progress=_make_progress(options, count, count),
-                cache=cache)
+                cache=cache, daq_period=daq_period)
         else:
             report = verify_many(
                 options.seed, options.systems, options.size,
                 jobs=options.jobs, checkpoint=options.checkpoint,
                 resume=options.resume,
                 progress=_make_progress(options, count, count),
-                cache=cache)
+                cache=cache, daq_period=daq_period)
     finally:
         if telemetry:
             obs.disable()
     print(format_report(report))
     _print_cache_stats(cache, options.jobs)
+    if options.daq:
+        _emit_daq(options,
+                  [(verdict.name, verdict.daq_rows)
+                   for verdict in report.verdicts],
+                  report.daq_sample_count, report.measurement_digest())
     if telemetry:
         _export_telemetry(options)
     return 0 if report.passed else 1
@@ -555,11 +632,15 @@ def main(argv: list[str]) -> int:
         from repro.model.cli import model_command
 
         return model_command(argv[2:])
+    if command == "meas":
+        from repro.meas.cli import meas_command
+
+        return meas_command(argv[2:])
     if command == "stats":
         return stats(argv[2:])
     print(f"unknown command {command!r}; "
           f"use 'info', 'selftest', 'campaign', 'verify', 'fuzz', "
-          f"'resilience', 'model' or 'stats'")
+          f"'resilience', 'model', 'meas' or 'stats'")
     return 2
 
 

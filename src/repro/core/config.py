@@ -12,6 +12,7 @@ post-build-selectable variants).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
@@ -54,12 +55,28 @@ class ConfigParameter:
 
 
 class ConfigurationSet:
-    """A container of parameters with build-stage freeze semantics."""
+    """A container of parameters with build-stage freeze semantics.
+
+    ``set()``, ``compile()`` and ``link()`` are serialized by a lock so
+    concurrent post-build writers (the measurement service runs tool
+    threads against a live system) observe atomic check-then-assign:
+    a validator-rejected or class-refused write leaves the prior value
+    intact, and a write can never slip past a stage transition."""
 
     def __init__(self, name: str):
         self.name = name
         self._params: dict[str, ConfigParameter] = {}
         self.stage = "editing"
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks don't pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def declare(self, name: str, value, config_class: str,
                 validator: Optional[Callable] = None,
@@ -82,29 +99,36 @@ class ConfigurationSet:
 
     def set(self, name: str, value) -> None:
         """Change a parameter, enforcing its configuration class against
-        the current build stage."""
+        the current build stage.  Atomic: the class check and the
+        validated assignment happen under the set's lock, so a refused
+        or rejected write never clobbers a concurrent accepted one."""
         param = self._param(name)
-        if param.config_class == PRE_COMPILE and self.stage != "editing":
-            raise ConfigurationError(
-                f"{self.name}: {name} is pre-compile; frozen after "
-                f"compile()")
-        if param.config_class == LINK_TIME and self.stage == "linked":
-            raise ConfigurationError(
-                f"{self.name}: {name} is link-time; frozen after link()")
-        param._set(value)
+        with self._lock:
+            if (param.config_class == PRE_COMPILE
+                    and self.stage != "editing"):
+                raise ConfigurationError(
+                    f"{self.name}: {name} is pre-compile; frozen after "
+                    f"compile()")
+            if param.config_class == LINK_TIME and self.stage == "linked":
+                raise ConfigurationError(
+                    f"{self.name}: {name} is link-time; frozen after "
+                    f"link()")
+            param._set(value)
 
     def compile(self) -> None:
         """Enter the compiled stage (pre-compile parameters freeze)."""
-        if self.stage != "editing":
-            raise ConfigurationError(f"{self.name}: already compiled")
-        self.stage = "compiled"
+        with self._lock:
+            if self.stage != "editing":
+                raise ConfigurationError(f"{self.name}: already compiled")
+            self.stage = "compiled"
 
     def link(self) -> None:
         """Enter the linked stage (link-time parameters freeze too)."""
-        if self.stage != "compiled":
-            raise ConfigurationError(
-                f"{self.name}: link() requires the compiled stage")
-        self.stage = "linked"
+        with self._lock:
+            if self.stage != "compiled":
+                raise ConfigurationError(
+                    f"{self.name}: link() requires the compiled stage")
+            self.stage = "linked"
 
     def parameters(self, config_class: Optional[str] = None
                    ) -> list[ConfigParameter]:

@@ -62,6 +62,18 @@ class ProtocolError(ReproError):
     (e.g. transmission outside the node's TDMA slot without a fault model)."""
 
 
+class MeasurementError(ReproError):
+    """The measurement & calibration service refused an operation:
+    not connected, read-only entry, unknown registry name, or a write
+    against a registry with no configuration set attached.
+
+    Configuration-class refusals (pre-compile/link-time writes in the
+    linked stage) and validator rejections raise
+    :class:`ConfigurationError` from the underlying
+    :class:`~repro.core.config.ConfigurationSet` instead — the freeze
+    semantics live there, not in the service."""
+
+
 class ExecutionError(ReproError):
     """The parallel execution engine could not complete a work plan.
 

@@ -104,6 +104,11 @@ class CellResult:
     recovery_latency: Optional[int]
     errors: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    #: DAQ sample rows when a measurement service rode along
+    #: (``--daq``); excluded from :meth:`to_dict` so campaign digests
+    #: are unchanged by sampling — the rows carry their own digest
+    #: (:meth:`CampaignReport.measurement_digest`).
+    daq_rows: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """Flat row for tables/CSV (extra metrics inlined)."""
@@ -182,6 +187,25 @@ class CampaignReport:
                                sort_keys=True, separators=(",", ":"),
                                default=repr)
         return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def daq_sample_count(self) -> int:
+        return sum(len(r.daq_rows) for r in self.results)
+
+    def measurement_digest(self) -> str:
+        """Canonical digest of the DAQ rows collected alongside the
+        campaign (``--daq``), keyed and sorted by cell label — the same
+        ordering discipline as :meth:`digest`, so it is byte-identical
+        across ``--jobs`` levels and ``--resume``."""
+        from repro.meas.service import samples_digest
+
+        ordered = sorted(self.results,
+                         key=lambda r: (r.cell.kind, r.cell.target,
+                                        r.cell.onset,
+                                        -1 if r.cell.duration is None
+                                        else r.cell.duration))
+        return samples_digest([[r.cell.label, r.daq_rows]
+                               for r in ordered])
 
     def summary(self) -> dict:
         """Aggregate verdicts (the report's one-look row)."""
@@ -262,8 +286,14 @@ def _make_world(factory: Callable[..., CampaignWorld],
 
 
 def run_cell(factory: Callable[..., CampaignWorld], cell: CampaignCell,
-             horizon: int, seed: Optional[int] = None) -> CellResult:
-    """Run one cell: fresh world, one fault, measure, tear down."""
+             horizon: int, seed: Optional[int] = None,
+             daq_period: Optional[int] = None) -> CellResult:
+    """Run one cell: fresh world, one fault, measure, tear down.
+
+    ``daq_period`` (ns, optional) attaches a generic measurement
+    service (:func:`repro.meas.service.attach_world`) and samples the
+    world cyclically; the rows land in ``result.daq_rows`` without
+    touching the cell's trace or digest."""
     with obs.span("campaign.cell", category="campaign", kind=cell.kind,
                   target=cell.target, onset=cell.onset):
         world = _make_world(factory, seed)
@@ -273,8 +303,18 @@ def run_cell(factory: Callable[..., CampaignWorld], cell: CampaignCell,
                 f"horizon {horizon} to measure recovery")
         adapter = world.adapter_for(cell)
         world.injector.inject(adapter, cell.fault())
+        service = None
+        if daq_period is not None:
+            from repro.meas.service import attach_world, default_daq
+
+            service = attach_world(world, node=f"MEAS:{cell.label}")
+            service.connect()
+            service.start_daq(default_daq(service.registry, daq_period))
         world.sim.run_until(horizon)
         result = _evaluate(world, cell, horizon)
+        if service is not None:
+            service.detach()
+            result.daq_rows = service.sample_rows()
     if obs.enabled():
         obs.count("campaign.cells")
         obs.count(f"campaign.detected_by.{result.detection_source}"
@@ -299,12 +339,20 @@ def _cell_worker(factory, horizon: int, cell: CampaignCell,
     return run_cell(factory, cell, horizon, seed)
 
 
+def _daq_cell_worker(factory, horizon: int, daq_period: int,
+                     cell: CampaignCell, seed: int) -> CellResult:
+    """Plan worker for ``--daq`` campaigns (separate label, so plain
+    and DAQ checkpoint journals never mix result shapes)."""
+    return run_cell(factory, cell, horizon, seed, daq_period)
+
+
 def run_campaign(factory: Callable[..., CampaignWorld],
                  cells: Iterable[CampaignCell],
                  horizon: int, jobs: int = 1, base_seed: int = 0,
                  checkpoint=None, resume: bool = False, retries: int = 1,
                  progress=None,
-                 interrupt_after: Optional[int] = None) -> CampaignReport:
+                 interrupt_after: Optional[int] = None,
+                 daq_period: Optional[int] = None) -> CampaignReport:
     """Run every cell through a fresh world.
 
     Cells are executed through :mod:`repro.exec`: sharded one cell per
@@ -318,9 +366,16 @@ def run_campaign(factory: Callable[..., CampaignWorld],
     from repro.exec import Plan, execute
 
     cells = tuple(cells)
-    plan = Plan(f"campaign:horizon={horizon}",
-                functools.partial(_cell_worker, factory, horizon),
-                cells, base_seed=base_seed)
+    if daq_period is not None:
+        plan = Plan(f"campaign-daq:horizon={horizon}"
+                    f":period={daq_period}",
+                    functools.partial(_daq_cell_worker, factory, horizon,
+                                      daq_period),
+                    cells, base_seed=base_seed)
+    else:
+        plan = Plan(f"campaign:horizon={horizon}",
+                    functools.partial(_cell_worker, factory, horizon),
+                    cells, base_seed=base_seed)
     outcome = execute(plan, jobs=jobs, retries=retries,
                       checkpoint=checkpoint, resume=resume,
                       progress=progress, interrupt_after=interrupt_after)

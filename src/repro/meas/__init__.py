@@ -1,0 +1,40 @@
+"""repro.meas — the measurement & calibration plane.
+
+Mirrors the tooling stack real automotive ECUs are developed with
+(ROADMAP item 3): an **A2L-like registry** of named measurements and
+calibration characteristics generated from a system description
+(:mod:`repro.meas.registry`), an **XCP-like runtime service** for
+live read/write/poll and cyclic DAQ sampling against a running
+simulation with configuration-class write gating and freeze-frame
+audit logging (:mod:`repro.meas.service`), a **columnar MDF-like
+mass-trace store** with time-indexed per-signal blocks and a two-seek
+reader (:mod:`repro.meas.mtf`), and a campaign-scale batch runner on
+the parallel exec engine whose measurement digest is jobs/resume-
+invariant (:mod:`repro.meas.batch`).
+
+Where :mod:`repro.obs` observes the *harness* (counters, spans, logs
+of the verification machinery itself), :mod:`repro.meas` observes the
+*simulated ECUs*: signal values, kernel state, DEM state, and the
+post-build characteristics the paper's Section 2 configuration
+classes leave writable after link time.
+"""
+
+from repro.meas.batch import MeasurementReport, measure_models
+from repro.meas.mtf import (MtfReader, MtfWriter, is_mtf_file,
+                            summarize_mtf)
+from repro.meas.registry import (CHARACTERISTIC, MEASUREMENT,
+                                 MeasurementRegistry, RegistryEntry,
+                                 build_registry, calibration_set)
+from repro.meas.service import (DEFAULT_DAQ_PERIOD, DaqList,
+                                MeasurementService, attach_world,
+                                default_daq, samples_digest)
+
+__all__ = [
+    "MEASUREMENT", "CHARACTERISTIC",
+    "RegistryEntry", "MeasurementRegistry",
+    "build_registry", "calibration_set",
+    "MeasurementService", "DaqList", "default_daq", "attach_world",
+    "samples_digest", "DEFAULT_DAQ_PERIOD",
+    "MtfWriter", "MtfReader", "is_mtf_file", "summarize_mtf",
+    "MeasurementReport", "measure_models",
+]

@@ -10,7 +10,9 @@
 ``scenarios validate``      CI gate: every bundled scenario validates
                             and round-trips digest-identically
 ``scenarios run [NAME...]`` verify + resilience matrix per scenario
-                            (the EXPERIMENTS E18 table)
+                            (the EXPERIMENTS E18 table); accepts the
+                            telemetry flags ``--metrics`` /
+                            ``--trace-out`` / ``--events``
 =========================  ===========================================
 
 Exit codes follow the convention: ``0`` everything valid / every
@@ -145,7 +147,8 @@ def _scenarios_validate() -> int:
     return status
 
 
-def _scenarios_run(names: list[str], jobs: int) -> int:
+def _scenarios_run(names: list[str], jobs: int,
+                   options=None) -> int:
     names = names or scenario_names()
     try:
         models = [Model.from_document(load_document(scenario_path(name)))
@@ -153,24 +156,44 @@ def _scenarios_run(names: list[str], jobs: int) -> int:
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_UNREADABLE
+    telemetry = options is not None and bool(
+        options.metrics or options.trace_out or options.events)
+    if telemetry:
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
     status = EXIT_OK
     width = max(len(name) for name in names)
-    for name, model in zip(names, models):
-        verification = verify_models([model], jobs=jobs)
-        resilience = resilience_models([model], jobs=jobs)
-        passed = verification.passed and resilience.passed
-        checks = sum(len(v.checks) for v in verification.verdicts)
-        scenarios = sum(len(row["verdicts"]) for row in resilience.rows)
-        print(f"{name:<{width}}  verify={'PASS' if verification.passed else 'FAIL'} "
-              f"(checks={checks} soundness="
-              f"{verification.soundness_violations} invariants="
-              f"{verification.invariant_violations})  "
-              f"resilience={'PASS' if resilience.passed else 'FAIL'} "
-              f"(scenarios={scenarios} unmet={resilience.unmet})")
-        if not passed:
-            status = EXIT_INVALID
+    try:
+        for name, model in zip(names, models):
+            verification = verify_models([model], jobs=jobs)
+            resilience = resilience_models([model], jobs=jobs)
+            passed = verification.passed and resilience.passed
+            checks = sum(len(v.checks) for v in verification.verdicts)
+            scenarios = sum(len(row["verdicts"])
+                            for row in resilience.rows)
+            print(f"{name:<{width}}  verify={'PASS' if verification.passed else 'FAIL'} "
+                  f"(checks={checks} soundness="
+                  f"{verification.soundness_violations} invariants="
+                  f"{verification.invariant_violations})  "
+                  f"resilience={'PASS' if resilience.passed else 'FAIL'} "
+                  f"(scenarios={scenarios} unmet={resilience.unmet})")
+            if not passed:
+                status = EXIT_INVALID
+    finally:
+        if telemetry:
+            obs.disable()
     print(f"scenario matrix: {'PASS' if status == EXIT_OK else 'FAIL'} "
           f"({len(names)} scenario(s))")
+    if telemetry:
+        if options.metrics:
+            obs.write_prometheus(options.metrics)
+        if options.trace_out:
+            obs.write_chrome_trace(options.trace_out)
+        if options.events:
+            obs.write_events_jsonl(options.events)
+        print(f"telemetry digest: sha256:{obs.digest()}")
     return status
 
 
@@ -209,6 +232,14 @@ def model_command(args: list[str]) -> int:
     sub.add_argument("names", nargs="*", metavar="NAME",
                      help="scenario names (default: all)")
     sub.add_argument("--jobs", type=int, default=1)
+    sub.add_argument("--metrics", metavar="PATH",
+                     help="write merged metrics as Prometheus text")
+    sub.add_argument("--trace-out", metavar="PATH", dest="trace_out",
+                     help="write spans + DLT events as Chrome "
+                          "trace-event JSON")
+    sub.add_argument("--events", metavar="PATH",
+                     help="write the full telemetry as a JSONL event "
+                          "log")
 
     options = parser.parse_args(args)
     if options.command == "validate":
@@ -221,4 +252,4 @@ def model_command(args: list[str]) -> int:
         return _scenarios_list()
     if options.action == "validate":
         return _scenarios_validate()
-    return _scenarios_run(options.names, options.jobs)
+    return _scenarios_run(options.names, options.jobs, options)

@@ -28,6 +28,24 @@ from repro.errors import ConfigurationError
 
 _PROM_PREFIX = "repro_"
 
+#: Quantiles emitted per histogram (reconstructed by interpolation).
+_QUANTILES = ("0.5", "0.9", "0.99")
+
+
+def _histogram_percentile(payload: dict, quantile: float):
+    """Percentile of a snapshot-shaped histogram payload, via the same
+    bucket interpolation ``repro stats`` uses for its tables."""
+    from repro.obs.registry import MetricsRegistry
+
+    scratch = MetricsRegistry()
+    histogram = scratch.histogram("scratch", payload["buckets"])
+    histogram.counts = list(payload["counts"])
+    histogram.count = payload["count"]
+    histogram.sum = payload["sum"]
+    histogram.min = payload.get("min")
+    histogram.max = payload.get("max")
+    return histogram.percentile(quantile)
+
 
 def _prom_name(name: str) -> str:
     """Prometheus metric name: dots and dashes become underscores."""
@@ -62,6 +80,11 @@ def to_prometheus_text(snapshot: dict) -> str:
             cumulative += count
             lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
         lines.append(f'{metric}_bucket{{le="+Inf"}} {payload["count"]}')
+        if payload["count"]:
+            for quantile in _QUANTILES:
+                value = _histogram_percentile(payload, float(quantile))
+                lines.append(f'{metric}{{quantile="{quantile}"}} '
+                             f"{_prom_value(value)}")
         lines.append(f"{metric}_sum {_prom_value(payload['sum'])}")
         lines.append(f"{metric}_count {payload['count']}")
     return "\n".join(lines) + "\n"
@@ -102,12 +125,20 @@ def parse_prometheus_text(text: str) -> dict:
         name, __, value_token = line.rpartition(" ")
         if "{" in name:
             metric, __, label = name.partition("{")
+            token = label.split('"')[1]
             if metric.endswith("_bucket"):
                 metric = metric[:-len("_bucket")]
-            bound = label.split('"')[1]
-            if bound != "+Inf":
-                histograms[metric]["buckets"].append(number(bound))
-                histograms[metric]["counts"].append(number(value_token))
+                if token != "+Inf":
+                    histograms[metric]["buckets"].append(number(token))
+                    histograms[metric]["counts"].append(
+                        number(value_token))
+            elif label.startswith("quantile=") and metric in histograms:
+                histograms[metric].setdefault("quantiles", {})[token] = (
+                    None if value_token == "NaN"
+                    else number(value_token))
+            else:
+                raise ConfigurationError(
+                    f"unparseable metrics line: {line!r}")
             continue
         if name.endswith("_sum") and name[:-4] in histograms:
             histograms[name[:-4]]["sum"] = number(value_token)

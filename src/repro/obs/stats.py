@@ -210,11 +210,20 @@ def summarize_file(text: str, top: int = 10) -> str:
 
 
 def summarize_paths(paths: list[str], top: int = 10) -> str:
-    """Summaries for several exported files, labelled per file."""
+    """Summaries for several exported files, labelled per file.
+
+    Binary MTF mass-trace stores (:mod:`repro.meas.mtf`) are detected
+    by magic and summarized from their chunk directory — no data block
+    is read; the text formats are sniffed by content as before."""
+    from repro.meas.mtf import is_mtf_file, summarize_mtf
+
     sections = []
     for path in paths:
+        sections.append(f"== {path} ==")
+        if is_mtf_file(path):
+            sections.append(summarize_mtf(path))
+            continue
         with open(path, encoding="utf-8") as handle:
             text = handle.read()
-        sections.append(f"== {path} ==")
         sections.append(summarize_file(text, top))
     return "\n".join(sections)

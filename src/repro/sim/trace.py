@@ -44,22 +44,28 @@ class Trace:
     need.  Long soak simulations can instead cap memory with
     ``max_records``: when the trace exceeds the cap, the oldest quarter
     (plus any excess) is evicted, optionally handed to a ``spill``
-    callback first (e.g. :func:`jsonl_spill` to stream records to disk).
-    Queries then see only the retained tail; :attr:`spilled` counts what
-    was evicted.  With both parameters at their defaults the behaviour
-    is exactly the historical unbounded one.
+    target first.  The target is either a plain callable (e.g.
+    :func:`jsonl_spill` to stream records to disk) or a writer object
+    with ``write_batch()`` — and optionally ``close()`` — such as
+    :class:`repro.meas.mtf.MtfWriter`.  Queries then see only the
+    retained tail; :attr:`spilled` counts what was evicted.
+    :meth:`close` spills the retained tail too, so end-of-run records
+    are never silently dropped.  With both parameters at their
+    defaults the behaviour is exactly the historical unbounded one.
     """
 
     def __init__(self, max_records: Optional[int] = None,
-                 spill: Optional[Callable[[list["Record"]], None]] = None):
+                 spill=None):
         if max_records is not None and max_records < 4:
             raise ConfigurationError(
                 f"max_records must be >= 4, got {max_records}")
         self._records: list[Record] = []
         self._max_records = max_records
-        self._spill = spill
+        self._spill_target = spill
+        self._spill = as_spill_sink(spill)
         #: number of records evicted by the bound (0 in unbounded mode).
         self.spilled = 0
+        self._closed = False
 
     def log(self, time: int, category: str, subject: str, **data: Any) -> None:
         """Append one record.  ``time`` must be non-decreasing per caller
@@ -166,6 +172,26 @@ class Trace:
         """Discard all records."""
         self._records.clear()
 
+    def close(self) -> None:
+        """Flush the retained tail to the spill target and close it.
+
+        Without this, end-of-run records — everything logged since the
+        last eviction — would never reach the spill file.  The tail is
+        spilled in order after everything already evicted, the target's
+        own ``close()`` is called when it has one (e.g. an MTF writer
+        sealing its directory), and the trace is emptied.  Idempotent;
+        a no-op spill-wise when no spill target is configured."""
+        if self._closed:
+            return
+        if self._spill is not None and self._records:
+            self._spill(list(self._records))
+            self.spilled += len(self._records)
+            self._records.clear()
+        closer = getattr(self._spill_target, "close", None)
+        if callable(closer):
+            closer()
+        self._closed = True
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -212,6 +238,25 @@ class Trace:
 
 def _category_matches(actual: str, wanted: str) -> bool:
     return actual == wanted or actual.startswith(wanted + ".")
+
+
+def as_spill_sink(spill) -> Optional[Callable[[list], None]]:
+    """Normalize a spill target to a batch callable.
+
+    Accepts ``None``, a plain callable, or a writer object exposing
+    ``write_batch()`` (the protocol of :class:`repro.meas.mtf.MtfWriter`
+    and the DAQ sinks).  Anything else is a configuration error —
+    silently ignoring a mistyped sink would drop records."""
+    if spill is None:
+        return None
+    write_batch = getattr(spill, "write_batch", None)
+    if callable(write_batch):
+        return write_batch
+    if callable(spill):
+        return spill
+    raise ConfigurationError(
+        f"spill target {spill!r} is neither callable nor a writer "
+        f"with write_batch()")
 
 
 def jsonl_spill(path: str) -> Callable[[list[Record]], None]:

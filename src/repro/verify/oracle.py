@@ -111,6 +111,11 @@ class SystemVerdict:
     declined: list[str] = field(default_factory=list)
     invariant_violations: list[Violation] = field(default_factory=list)
     records: int = 0
+    #: DAQ sample rows when the measurement service rode along
+    #: (``--daq``); excluded from :meth:`to_dict` so the verification
+    #: digest is unchanged by sampling — the DAQ rows carry their own
+    #: digest (:meth:`VerificationReport.measurement_digest`).
+    daq_rows: list = field(default_factory=list)
 
     @property
     def soundness_violations(self) -> list[Check]:
@@ -166,6 +171,19 @@ class VerificationReport:
         canonical = json.dumps(self.to_dict(), sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def daq_sample_count(self) -> int:
+        return sum(len(v.daq_rows) for v in self.verdicts)
+
+    def measurement_digest(self) -> str:
+        """Canonical digest of the DAQ rows collected alongside
+        verification (``--daq``), in the same sorted verdict order as
+        :meth:`to_dict` — byte-identical across jobs/resume."""
+        from repro.meas.service import samples_digest
+
+        ordered = sorted(self.verdicts, key=lambda v: (v.seed, v.name))
+        return samples_digest([[v.name, v.daq_rows] for v in ordered])
 
     def layer_summary(self) -> dict[str, dict]:
         """Per-layer aggregate: check/measurement/violation counts and
@@ -653,12 +671,28 @@ def _observations(built: BuiltSystem, layer: str, subject: str) -> list[int]:
 
 
 def verify_system(system: GeneratedSystem,
-                  horizon: Optional[int] = None) -> SystemVerdict:
-    """Run the full differential check for one generated system."""
+                  horizon: Optional[int] = None,
+                  daq_period: Optional[int] = None) -> SystemVerdict:
+    """Run the full differential check for one generated system.
+
+    ``daq_period`` (ns, optional) attaches the measurement service and
+    runs the default DAQ list alongside the differential run; the
+    samples land in ``verdict.daq_rows``.  Sampling only *reads* the
+    live object graph and keeps its records out of the simulation
+    trace, so checks, invariants and the verification digest are the
+    same with or without it.
+    """
     with obs.span("verify.system", category="verify", system=system.name,
                   seed=system.seed, size=system.size):
         bounds, declined = analyze_bounds(system)
         built = build_system(system)
+        service = None
+        if daq_period is not None:
+            from repro.meas.service import MeasurementService, default_daq
+
+            service = MeasurementService.attach(built, system)
+            service.connect()
+            service.start_daq(default_daq(service.registry, daq_period))
         built.sim.run_until(horizon if horizon is not None
                             else built.horizon)
         checks = []
@@ -684,6 +718,9 @@ def verify_system(system: GeneratedSystem,
         verdict = SystemVerdict(system.name, system.seed, system.size,
                                 checks, declined, violations,
                                 len(built.trace))
+        if service is not None:
+            service.detach()
+            verdict.daq_rows = service.sample_rows()
     if obs.enabled():
         obs.count("verify.systems")
         obs.count("verify.checks", len(verdict.checks))
@@ -722,12 +759,24 @@ def _system_worker(horizon: Optional[int], system: GeneratedSystem,
     return verify_system(system, horizon)
 
 
+def _daq_system_worker(horizon: Optional[int], daq_period: int,
+                       system: GeneratedSystem,
+                       seed: int) -> SystemVerdict:
+    """Plan worker for ``--daq`` runs: verification plus sampling.
+
+    A separate worker (and a separate plan label in
+    :func:`verify_many`) so checkpoint journals of plain and DAQ runs
+    never mix result shapes."""
+    return verify_system(system, horizon, daq_period)
+
+
 def verify_many(seed: int, count: int, size: str = "small",
                 horizon: Optional[int] = None, jobs: int = 1,
                 checkpoint=None, resume: bool = False, retries: int = 1,
                 progress=None,
                 interrupt_after: Optional[int] = None,
-                cache=None) -> VerificationReport:
+                cache=None,
+                daq_period: Optional[int] = None) -> VerificationReport:
     """Generate and differentially verify ``count`` systems.
 
     System specs are generated up front (cheap) and fanned out over
@@ -748,9 +797,15 @@ def verify_many(seed: int, count: int, size: str = "small",
     setup = None if cache is None \
         else functools.partial(perf_memo.ensure, cache)
     systems = tuple(generate_many(seed, count, size))
-    plan = Plan(f"verify:size={size}:horizon={horizon}",
-                functools.partial(_system_worker, horizon),
-                systems, base_seed=seed, setup=setup)
+    if daq_period is not None:
+        label = (f"verify-daq:size={size}:horizon={horizon}"
+                 f":period={daq_period}")
+        worker = functools.partial(_daq_system_worker, horizon,
+                                   daq_period)
+    else:
+        label = f"verify:size={size}:horizon={horizon}"
+        worker = functools.partial(_system_worker, horizon)
+    plan = Plan(label, worker, systems, base_seed=seed, setup=setup)
     outcome = execute(plan, jobs=jobs, retries=retries,
                       checkpoint=checkpoint, resume=resume,
                       progress=progress, interrupt_after=interrupt_after)

@@ -89,3 +89,122 @@ def test_parameters_filter_by_class():
     cfg = make_set()
     assert [p.name for p in cfg.parameters(PRE_COMPILE)] == ["os_tick"]
     assert len(cfg.parameters()) == 3
+
+
+# ----------------------------------------------------------------------
+# Freeze semantics under concurrent post-build writes
+# ----------------------------------------------------------------------
+def test_concurrent_post_build_writes_keep_a_written_value():
+    import threading
+
+    cfg = make_set()
+    cfg.compile()
+    cfg.link()
+    written = list(range(1, 33))
+    barrier = threading.Barrier(8)
+
+    def writer(values):
+        barrier.wait()
+        for value in values:
+            cfg.set("can_baudrate", value)
+
+    threads = [threading.Thread(target=writer, args=(written[i::8],))
+               for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Whatever interleaving happened, the final value is one of the
+    # values some writer actually wrote — never torn, never stale.
+    assert cfg.get("can_baudrate") in written
+
+
+def test_writes_during_stage_transition_never_slip_past_freeze():
+    import threading
+
+    cfg = ConfigurationSet("C")
+    cfg.declare("tuning", 0, PRE_COMPILE)
+    start = threading.Barrier(9)
+    outcomes = []
+    lock = threading.Lock()
+
+    def writer(value):
+        start.wait()
+        try:
+            cfg.set("tuning", value)
+            with lock:
+                outcomes.append(("ok", value))
+        except ConfigurationError:
+            with lock:
+                outcomes.append(("refused", value))
+
+    def compiler():
+        start.wait()
+        cfg.compile()
+
+    threads = [threading.Thread(target=writer, args=(v,))
+               for v in range(1, 9)] + [threading.Thread(target=compiler)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert cfg.stage == "compiled"
+    accepted = [v for status, v in outcomes if status == "ok"]
+    # Every accepted write happened before the freeze; the final value
+    # is the last accepted one (or the initial 0 if none won the race).
+    assert cfg.get("tuning") in accepted + [0]
+    # And a post-freeze retry is refused deterministically.
+    with pytest.raises(ConfigurationError):
+        cfg.set("tuning", 99)
+
+
+def test_validator_rejected_concurrent_writes_leave_prior_value():
+    import threading
+
+    cfg = ConfigurationSet("C")
+    cfg.declare("n", 5, POST_BUILD, validator=lambda v: v > 0)
+    cfg.compile()
+    cfg.link()
+    barrier = threading.Barrier(6)
+
+    def bad_writer():
+        barrier.wait()
+        for __ in range(50):
+            try:
+                cfg.set("n", -1)
+            except ConfigurationError:
+                pass
+
+    def good_writer():
+        barrier.wait()
+        for __ in range(50):
+            cfg.set("n", 7)
+
+    threads = [threading.Thread(target=bad_writer) for __ in range(3)] \
+        + [threading.Thread(target=good_writer) for __ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Rejected writes raised *before* assignment: the value is either
+    # the initial 5 or an accepted 7, never the rejected -1.
+    assert cfg.get("n") in (5, 7)
+
+
+def test_configuration_set_pickles_without_its_lock():
+    import pickle
+
+    # No lambda validators here: the point is that the *lock* is
+    # dropped and recreated, so the set itself must be picklable.
+    cfg = ConfigurationSet("EcuConfig")
+    cfg.declare("os_tick", 1_000_000, PRE_COMPILE)
+    cfg.declare("task_stack", 2048, LINK_TIME)
+    cfg.declare("can_baudrate", 500_000, POST_BUILD)
+    cfg.compile()
+    clone = pickle.loads(pickle.dumps(cfg))
+    assert clone.stage == "compiled"
+    assert clone.get("can_baudrate") == 500_000
+    clone.set("can_baudrate", 250_000)  # fresh lock works
+    assert clone.get("can_baudrate") == 250_000
+    with pytest.raises(ConfigurationError):
+        clone.set("os_tick", 1)  # freeze survives the round trip

@@ -1,0 +1,107 @@
+"""Tests for the A2L-like measurement & calibration registry."""
+
+import pytest
+
+from repro.core.config import POST_BUILD, PRE_COMPILE
+from repro.errors import ConfigurationError
+from repro.meas.registry import (ADDRESS_STRIDE, CHARACTERISTIC,
+                                 CHARACTERISTIC_BASE, MEASUREMENT,
+                                 MEASUREMENT_BASE, MeasurementRegistry,
+                                 build_registry, calibration_set)
+from repro.verify.generator import generate as generate_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(seed=7, size="small")
+
+
+def test_addresses_are_sorted_name_order_per_kind():
+    reg = MeasurementRegistry("sys")
+    reg.add("b.meas", MEASUREMENT)
+    reg.add("a.meas", MEASUREMENT)
+    reg.add("z.char", CHARACTERISTIC, config_class=POST_BUILD)
+    reg.finalize()
+    assert reg.entry("a.meas").address == MEASUREMENT_BASE
+    assert reg.entry("b.meas").address == MEASUREMENT_BASE + ADDRESS_STRIDE
+    assert reg.entry("z.char").address == CHARACTERISTIC_BASE
+
+
+def test_insertion_order_does_not_leak_into_digest():
+    one = MeasurementRegistry("sys")
+    one.add("a", MEASUREMENT)
+    one.add("b", MEASUREMENT)
+    two = MeasurementRegistry("sys")
+    two.add("b", MEASUREMENT)
+    two.add("a", MEASUREMENT)
+    assert one.finalize().digest() == two.finalize().digest()
+
+
+def test_duplicate_and_unknown_entries_rejected():
+    reg = MeasurementRegistry("sys")
+    reg.add("x", MEASUREMENT)
+    with pytest.raises(ConfigurationError):
+        reg.add("x", MEASUREMENT)
+    with pytest.raises(ConfigurationError):
+        reg.add("y", "bogus-kind")
+    with pytest.raises(ConfigurationError):
+        reg.entry("missing")
+
+
+def test_writable_is_post_build_characteristics_only():
+    reg = MeasurementRegistry("sys")
+    reg.add("m", MEASUREMENT)
+    reg.add("c.pb", CHARACTERISTIC, config_class=POST_BUILD)
+    reg.add("c.pc", CHARACTERISTIC, config_class=PRE_COMPILE)
+    reg.finalize()
+    assert not reg.entry("m").writable
+    assert reg.entry("c.pb").writable
+    assert not reg.entry("c.pc").writable
+
+
+def test_generated_registry_digest_is_stable(system):
+    first = build_registry(system)
+    second = build_registry(generate_system(seed=7, size="small"))
+    assert first.digest() == second.digest()
+    assert len(first) == len(second) > 0
+
+
+def test_different_systems_have_different_registries(system):
+    other = build_registry(generate_system(seed=8, size="small"))
+    assert build_registry(system).digest() != other.digest()
+
+
+def test_generated_registry_covers_both_kinds(system):
+    reg = build_registry(system)
+    assert "sim.now" in reg
+    assert reg.measurements() and reg.characteristics()
+    # Every characteristic mirrors a declared calibration parameter.
+    config = calibration_set(system)
+    declared = {f"calib.{p.name}" for p in config.parameters()}
+    assert {e.name for e in reg.characteristics()} == declared
+
+
+def test_calibration_set_reaches_linked_stage(system):
+    config = calibration_set(system)
+    assert config.stage == "linked"
+    # Post-build stays writable; pre-compile is frozen.
+    config.set("dem.debounce_threshold", 3)
+    assert config.get("dem.debounce_threshold") == 3
+    with pytest.raises(ConfigurationError):
+        config.set("dem.debounce_threshold", 0)  # validator-rejected
+    assert config.get("dem.debounce_threshold") == 3
+
+
+def test_build_registry_accepts_models():
+    from repro.model.cli import model_from_ref
+
+    model = model_from_ref("adas-fusion")
+    reg = build_registry(model)
+    assert reg.digest() == build_registry(model).digest()
+    assert "sim.now" in reg
+
+
+def test_format_table_carries_addresses_and_digest(system):
+    table = build_registry(system).format_table()
+    assert "0x1000" in table and "0x2000" in table
+    assert "registry digest: sha256:" in table

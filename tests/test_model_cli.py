@@ -146,6 +146,29 @@ def test_scenarios_run_unknown_name(capsys):
     assert model_command(["scenarios", "run", "nope"]) == EXIT_UNREADABLE
 
 
+def test_scenarios_run_with_telemetry_exports(tmp_path, capsys):
+    metrics = tmp_path / "metrics.prom"
+    events = tmp_path / "events.jsonl"
+    assert model_command(
+        ["scenarios", "run", "tdma-overload",
+         "--metrics", str(metrics), "--events", str(events)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "telemetry digest: sha256:" in out
+    # Both exports exist and parse with the obs tooling.
+    from repro.obs.exporters import (events_from_jsonl,
+                                     parse_prometheus_text)
+
+    parsed = parse_prometheus_text(metrics.read_text())
+    assert parsed["counters"]  # the run produced real telemetry
+    rows = events_from_jsonl(events.read_text())
+    assert any(row.get("type") == "counter" for row in rows)
+
+
+def test_scenarios_run_without_telemetry_prints_no_digest(capsys):
+    assert model_command(["scenarios", "run", "tdma-overload"]) == EXIT_OK
+    assert "telemetry digest" not in capsys.readouterr().out
+
+
 def test_model_from_ref_rejects_unreadable():
     from repro.errors import ConfigurationError
     with pytest.raises(ConfigurationError):

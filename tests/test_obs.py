@@ -245,9 +245,45 @@ def test_prometheus_round_trip():
     assert hist["sum"] == 5200 and hist["count"] == 3
 
 
+def test_prometheus_quantile_lines_round_trip():
+    from repro.obs.registry import Histogram
+
+    snap = _sample_snapshot()
+    text = to_prometheus_text(snap)
+    # Exposition text carries p50/p90/p99 summary-style quantile lines.
+    assert 'repro_lat_ns{quantile="0.5"}' in text
+    assert 'repro_lat_ns{quantile="0.99"}' in text
+    parsed = parse_prometheus_text(text)
+    quantiles = parsed["histograms"]["repro_lat_ns"]["quantiles"]
+    # Parsed quantiles equal the interpolation over the same snapshot.
+    scratch = MetricsRegistry()
+    reference: Histogram = scratch.histogram(
+        "ref", snap["histograms"]["lat_ns"]["buckets"])
+    reference.counts = list(snap["histograms"]["lat_ns"]["counts"])
+    reference.count = snap["histograms"]["lat_ns"]["count"]
+    reference.sum = snap["histograms"]["lat_ns"]["sum"]
+    reference.min = snap["histograms"]["lat_ns"]["min"]
+    reference.max = snap["histograms"]["lat_ns"]["max"]
+    for token in ("0.5", "0.9", "0.99"):
+        assert quantiles[token] == reference.percentile(float(token))
+
+
+def test_prometheus_empty_histogram_emits_no_quantiles():
+    reg = MetricsRegistry()
+    reg.histogram("empty_ns", buckets=(100, 1000))
+    text = to_prometheus_text(reg.snapshot())
+    assert "quantile=" not in text
+    parsed = parse_prometheus_text(text)
+    assert "quantiles" not in parsed["histograms"]["repro_empty_ns"]
+
+
 def test_prometheus_rejects_unknown_lines():
     with pytest.raises(ConfigurationError):
         parse_prometheus_text("weird_metric 42\n")
+    with pytest.raises(ConfigurationError):
+        # A labeled line that is neither a bucket nor a known-histogram
+        # quantile must still raise, not silently vanish.
+        parse_prometheus_text('mystery{quantile="0.5"} 1\n')
 
 
 def test_chrome_trace_valid_and_rebased():

@@ -180,3 +180,76 @@ def test_bounded_trace_validates_cap():
 
     with pytest.raises(ConfigurationError):
         Trace(max_records=2)
+
+
+# ----------------------------------------------------------------------
+# Spill-sink protocol (writer objects) and close()
+# ----------------------------------------------------------------------
+class _BatchWriter:
+    """Minimal writer-protocol sink: write_batch() + close()."""
+
+    def __init__(self):
+        self.batches = []
+        self.closed = 0
+
+    def write_batch(self, records):
+        self.batches.append(list(records))
+
+    def close(self):
+        self.closed += 1
+
+
+def test_spill_accepts_writer_object_with_write_batch():
+    writer = _BatchWriter()
+    tr = Trace(max_records=8, spill=writer)
+    for i in range(9):
+        tr.log(i, "cat", "s")
+    assert tr.spilled == 3
+    assert [r.time for r in writer.batches[0]] == [0, 1, 2]
+
+
+def test_close_flushes_retained_tail_and_closes_writer():
+    writer = _BatchWriter()
+    tr = Trace(max_records=8, spill=writer)
+    for i in range(9):
+        tr.log(i, "cat", "s")
+    tr.close()
+    # Evicted batch + retained tail together cover every record.
+    spilled = [r.time for batch in writer.batches for r in batch]
+    assert spilled == list(range(9))
+    assert tr.spilled == 9 and len(tr) == 0
+    assert writer.closed == 1
+    tr.close()  # idempotent: no double-flush, no double-close
+    assert writer.closed == 1 and tr.spilled == 9
+
+
+def test_close_without_spill_target_is_harmless():
+    tr = Trace()
+    tr.log(0, "a", "b")
+    tr.close()
+    tr.close()
+
+
+def test_jsonl_spill_round_trips_every_record_via_close(tmp_path):
+    import json
+
+    from repro.sim.trace import jsonl_spill
+
+    path = tmp_path / "full.jsonl"
+    tr = Trace(max_records=8, spill=jsonl_spill(path))
+    for i in range(20):
+        tr.log(i, "cat", "s", n=i)
+    tr.close()
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    # With close(), the file alone covers the whole run, in order.
+    assert [r["time"] for r in rows] == list(range(20))
+    assert [r["data"]["n"] for r in rows] == list(range(20))
+
+
+def test_mistyped_spill_target_rejected():
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        Trace(max_records=8, spill=object())
