@@ -19,8 +19,10 @@ checks every one is detected within bound, contained, and recovered.
 
 ``model`` works with the versioned system exchange format
 (:mod:`repro.model`): validate documents, print deterministic digests,
-convert legacy corpus dicts, and list/validate/run the bundled scenario
-library.  ``verify``, ``resilience`` and ``fuzz`` accept ``--model
+convert legacy corpus dicts, list/validate/run the bundled scenario
+library, and compile every model into the requirement-traced pytest
+suite under ``tests/generated/`` (``model testgen``; ``--check`` is
+the CI drift gate over its SHA-256 sync manifest).  ``verify``, ``resilience`` and ``fuzz`` accept ``--model
 PATH|NAME`` (repeatable) to run explicit model documents — or bundled
 scenarios by name — instead of seeded random systems.
 

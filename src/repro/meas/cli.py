@@ -40,12 +40,20 @@ def _models(refs: list[str]):
     return [model_from_ref(ref) for ref in refs]
 
 
+def _load_status(exc: ConfigurationError) -> int:
+    """1 for a readable-but-invalid document, 2 for unreadable input —
+    the ``repro model`` convention."""
+    from repro.model.schema import ModelValidationError
+    return EXIT_FAILED if isinstance(exc, ModelValidationError) \
+        else EXIT_UNREADABLE
+
+
 def _registry(refs: list[str]) -> int:
     try:
         models = _models(refs)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
-        return EXIT_UNREADABLE
+        return _load_status(exc)
     for model in models:
         print(build_registry(model).format_table())
     return EXIT_OK
@@ -56,7 +64,7 @@ def _daq(options) -> int:
         models = _models(options.refs)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
-        return EXIT_UNREADABLE
+        return _load_status(exc)
     period = us(options.period_us) if options.period_us else \
         DEFAULT_DAQ_PERIOD
     horizon = ms(options.horizon_ms) if options.horizon_ms else None
@@ -93,16 +101,23 @@ def _mtf(options) -> int:
     if not is_mtf_file(options.path):
         print(f"{options.path}: not an MTF file", file=sys.stderr)
         return EXIT_UNREADABLE
-    if options.signal is None:
-        print(summarize_mtf(options.path))
-        return EXIT_OK
-    with MtfReader(options.path) as reader:
-        samples = reader.read(options.signal, options.start, options.end)
-        for time, data in samples:
-            print(f"{time} {data}")
-        print(f"{len(samples)} sample(s) from {reader.blocks_read} "
-              f"block(s) of {reader.block_count(options.signal)} "
-              f"for {options.signal!r}", file=sys.stderr)
+    try:
+        if options.signal is None:
+            print(summarize_mtf(options.path))
+            return EXIT_OK
+        with MtfReader(options.path) as reader:
+            samples = reader.read(options.signal, options.start,
+                                  options.end)
+            for time, data in samples:
+                print(f"{time} {data}")
+            print(f"{len(samples)} sample(s) from {reader.blocks_read} "
+                  f"block(s) of {reader.block_count(options.signal)} "
+                  f"for {options.signal!r}", file=sys.stderr)
+    except ConfigurationError as exc:
+        # A damaged store (truncated, corrupt directory or block) is
+        # an unreadable input, reported — not a traceback.
+        print(str(exc), file=sys.stderr)
+        return EXIT_UNREADABLE
     return EXIT_OK
 
 

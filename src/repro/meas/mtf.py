@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from array import array
 from typing import Optional, Union
 
@@ -120,6 +121,10 @@ class MtfWriter:
             "times_length": len(times_bytes),
             "values_offset": self._offset + len(times_bytes),
             "values_length": len(values_bytes),
+            # Packed int64 timestamps have no syntax to violate, so
+            # mid-file damage there is otherwise undetectable: the
+            # checksum covers the whole block (times + values).
+            "crc": zlib.crc32(times_bytes + values_bytes),
         })
         self._offset += len(times_bytes) + len(values_bytes)
 
@@ -162,33 +167,59 @@ class MtfReader:
     def __init__(self, path: str):
         self.path = path
         self._handle = open(path, "rb")
+        try:
+            self._open_directory()
+        except ConfigurationError:
+            self._handle.close()
+            raise
+        #: data blocks fetched so far (directory reads excluded).
+        self.blocks_read = 0
+
+    def _open_directory(self) -> None:
+        size = self._handle.seek(0, 2)
+        self._handle.seek(0)
         header = self._handle.read(_HEADER.size)
         if len(header) < _HEADER.size \
                 or _HEADER.unpack(header)[0] != MAGIC:
-            self._handle.close()
-            raise ConfigurationError(f"{path}: not an MTF file")
+            raise ConfigurationError(f"{self.path}: not an MTF file")
         version = _HEADER.unpack(header)[1]
         if version != VERSION:
-            self._handle.close()
             raise ConfigurationError(
-                f"{path}: unsupported MTF version {version}")
-        self._handle.seek(-_TRAILER.size, 2)
+                f"{self.path}: unsupported MTF version {version}")
+        if size < _HEADER.size + _TRAILER.size:
+            raise ConfigurationError(
+                f"{self.path}: truncated MTF file "
+                f"({size} bytes, no room for a trailer — "
+                f"was the writer closed?)")
+        self._handle.seek(size - _TRAILER.size)
         dir_offset, dir_length, trailer_magic = _TRAILER.unpack(
             self._handle.read(_TRAILER.size))
         if trailer_magic != TRAILER_MAGIC:
-            self._handle.close()
             raise ConfigurationError(
-                f"{path}: truncated MTF file (bad trailer)")
+                f"{self.path}: truncated MTF file (bad trailer)")
+        if dir_offset + dir_length > size - _TRAILER.size \
+                or dir_offset < _HEADER.size:
+            raise ConfigurationError(
+                f"{self.path}: corrupt MTF trailer (directory at "
+                f"{dir_offset}+{dir_length} is outside the file)")
         self._handle.seek(dir_offset)
-        directory = json.loads(self._handle.read(dir_length))
-        self.records = directory["records"]
+        try:
+            directory = json.loads(self._handle.read(dir_length))
+            self.records = directory["records"]
+            blocks = directory["blocks"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"{self.path}: corrupt MTF directory ({exc})")
         self._blocks: dict[str, list[dict]] = {}
-        for block in directory["blocks"]:
+        for block in blocks:
+            if block["values_offset"] + block["values_length"] \
+                    > dir_offset:
+                raise ConfigurationError(
+                    f"{self.path}: corrupt MTF directory (block "
+                    f"'{block['signal']}' points past the data region)")
             self._blocks.setdefault(block["signal"], []).append(block)
         for blocks in self._blocks.values():
             blocks.sort(key=lambda b: b["t_min"])
-        #: data blocks fetched so far (directory reads excluded).
-        self.blocks_read = 0
 
     # -- queries -------------------------------------------------------
     def signals(self) -> list[str]:
@@ -221,9 +252,25 @@ class MtfReader:
 
     def _fetch(self, block: dict) -> tuple[array, list]:
         self._handle.seek(block["times_offset"])
+        times_bytes = self._handle.read(block["times_length"])
+        values_bytes = self._handle.read(block["values_length"])
+        crc = block.get("crc")  # absent in pre-checksum files
+        if crc is not None \
+                and zlib.crc32(times_bytes + values_bytes) != crc:
+            raise ConfigurationError(
+                f"{self.path}: corrupt MTF block "
+                f"('{block['signal']}' at offset "
+                f"{block['times_offset']} fails its checksum — "
+                f"the file was damaged after writing)")
         times = array("q")
-        times.frombytes(self._handle.read(block["times_length"]))
-        values = json.loads(self._handle.read(block["values_length"]))
+        try:
+            times.frombytes(times_bytes)
+            values = json.loads(values_bytes)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{self.path}: corrupt MTF block "
+                f"('{block['signal']}' at offset "
+                f"{block['values_offset']}: {exc})")
         self.blocks_read += 1
         return times, values
 

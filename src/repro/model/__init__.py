@@ -21,8 +21,14 @@ is that format for the repro library:
 * :mod:`repro.model.scenarios` — the bundled scenario library
   (ADAS sensor fusion, gateway-heavy multi-bus, TDMA overload,
   FlexRay mixed cluster, limp-home cascade), each loadable by name;
+* :mod:`repro.model.testgen` — model-driven pytest generation: compile
+  every model into a deterministic requirement-traced test module under
+  ``tests/generated/`` with a SHA-256 sync manifest, and detect drift
+  between models and their generated tests (``repro model testgen
+  --check``);
 * :mod:`repro.model.cli` — the ``repro model`` subcommand
-  (``validate`` / ``digest`` / ``convert`` / ``scenarios``).
+  (``validate`` / ``digest`` / ``convert`` / ``testgen`` /
+  ``scenarios``).
 """
 
 from repro.model.build import (Model, load_document, model_from_system,

@@ -13,6 +13,14 @@
                             (the EXPERIMENTS E18 table); accepts the
                             telemetry flags ``--metrics`` /
                             ``--trace-out`` / ``--events``
+``testgen [PATH|NAME...]``  compile every model (default: all bundled
+                            scenarios) into a deterministic pytest
+                            suite under ``tests/generated/`` plus a
+                            SHA-256 sync manifest
+``testgen --check``         CI gate: regenerate in memory and fail on
+                            any drift between models and their
+                            generated tests (STALE / EDITED /
+                            MISSING / EXTRA)
 =========================  ===========================================
 
 Exit codes follow the convention: ``0`` everything valid / every
@@ -197,6 +205,36 @@ def _scenarios_run(names: list[str], jobs: int,
     return status
 
 
+def _testgen(options) -> int:
+    """Generate the model-driven pytest suite, or ``--check`` it."""
+    from repro.model import testgen
+    from repro.model.schema import ModelValidationError
+
+    try:
+        if options.check:
+            in_sync, lines = testgen.check_suite(
+                options.refs, output_dir=options.output_dir)
+            for line in lines:
+                print(line)
+            return EXIT_OK if in_sync else EXIT_INVALID
+        modules = testgen.write_suite(options.refs,
+                                      output_dir=options.output_dir)
+    except ModelValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_INVALID
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_UNREADABLE
+    for module in modules:
+        print(f"wrote {options.output_dir}/{module.filename} "
+              f"({testgen.TESTS_PER_MODEL} tests) "
+              f"model={module.model_digest[:12]} "
+              f"file={module.sha256[:12]}")
+    print(f"wrote {options.output_dir}/{testgen.MANIFEST_NAME} "
+          f"({len(modules)} entr{'y' if len(modules) == 1 else 'ies'})")
+    return EXIT_OK
+
+
 def model_command(args: list[str]) -> int:
     """Entry point for ``repro model ...`` (see module docstring)."""
     parser = argparse.ArgumentParser(
@@ -220,6 +258,21 @@ def model_command(args: list[str]) -> int:
     sub.add_argument("ref", metavar="PATH|NAME")
     sub.add_argument("--output", "-o", metavar="PATH",
                      help="write here instead of stdout")
+
+    sub = commands.add_parser(
+        "testgen", help="compile models into a deterministic pytest "
+                        "suite with a SHA-256 sync manifest "
+                        "(--check: fail on drift)")
+    sub.add_argument("refs", nargs="*", metavar="PATH|NAME",
+                     help="model documents or bundled scenario names "
+                          "(default: every bundled scenario)")
+    sub.add_argument("--output-dir", metavar="DIR", dest="output_dir",
+                     default=None,
+                     help="generated-suite directory (default "
+                          "tests/generated)")
+    sub.add_argument("--check", action="store_true",
+                     help="regenerate in memory and compare against "
+                          "the committed suite instead of writing")
 
     scenarios = commands.add_parser(
         "scenarios", help="the bundled scenario library")
@@ -248,6 +301,11 @@ def model_command(args: list[str]) -> int:
         return _digest(options.refs)
     if options.command == "convert":
         return _convert(options.ref, options.output)
+    if options.command == "testgen":
+        if options.output_dir is None:
+            from repro.model.testgen import DEFAULT_OUTPUT_DIR
+            options.output_dir = DEFAULT_OUTPUT_DIR
+        return _testgen(options)
     if options.action == "list":
         return _scenarios_list()
     if options.action == "validate":

@@ -1,0 +1,128 @@
+"""GENERATED TEST SUITE — DO NOT EDIT BY HAND.
+
+Source model : gateway-multibus
+Source file  : src/repro/model/scenarios/gateway_multibus.json
+Model digest : sha256:82cb5c371b7fdfcde70b6f1eec3e187148e60bef1a59c723642397a3fe550995
+Generator    : repro.model.testgen v1
+
+Regenerate after any intentional model or behaviour change:
+
+    PYTHONPATH=src python -m repro model testgen
+
+Drift between the model and this suite is detected by the CI
+gate (testgen-smoke):
+
+    PYTHONPATH=src python -m repro model testgen --check
+
+The sync manifest next to this file maps the source model
+digest to this file's SHA-256.
+"""
+
+import functools
+
+from repro.model.build import Model, load_document
+from repro.model.schema import model_digest, validate_document
+
+MODEL_DIGEST = "82cb5c371b7fdfcde70b6f1eec3e187148e60bef1a59c723642397a3fe550995"
+SOURCE = "gateway-multibus"  # bundled scenario name
+
+
+def _document() -> dict:
+    from repro.model.scenarios import scenario_path
+    return load_document(scenario_path(SOURCE))
+
+
+@functools.lru_cache(maxsize=None)
+def _model() -> Model:
+    return Model.from_document(_document(), validate=False)
+
+
+def test_REQ_GATEWAY_MULTIBUS_001_schema_valid():
+    """REQ-GATEWAY-MULTIBUS-001 [meta, osek, com, network, resilience] — the committed document validates against format_version 1 with zero problems."""
+    assert validate_document(_document()) == []
+
+
+def test_REQ_GATEWAY_MULTIBUS_002_source_digest_in_sync():
+    """REQ-GATEWAY-MULTIBUS-002 [meta] — the committed document is byte-for-byte the one this suite
+    was generated from (the sync anchor — on mismatch,
+    regenerate with `repro model testgen`)."""
+    assert model_digest(_document()) == MODEL_DIGEST
+
+
+def test_REQ_GATEWAY_MULTIBUS_003_roundtrip_digest_identical():
+    """REQ-GATEWAY-MULTIBUS-003 [osek, com, network] — model -> live system -> model round-trips to the identical
+    digest: the exchange format loses nothing any executable
+    view needs."""
+    assert _model().roundtrip().digest() == MODEL_DIGEST
+
+
+def test_REQ_GATEWAY_MULTIBUS_004_structure_inventory():
+    """REQ-GATEWAY-MULTIBUS-004 [osek, com, network, resilience] — the compiled system exposes exactly the modelled inventory:
+    4 ECU(s), 13 task(s), 11 CAN frame(s),
+    flexray=True, chain=True, 0 declared fault scenario(s)."""
+    system = _model().build()
+    tdma_tasks = (0 if system.tdma is None
+                  else len(system.tdma.tasks))
+    ecus = len(system.tasksets) + \
+        (0 if system.tdma is None else 1)
+    tasks = sum(len(ts) for ts in system.tasksets.values()) \
+        + tdma_tasks
+    assert ecus == 4
+    assert tasks == 13
+    frames = (0 if system.can is None
+              else len(system.can.frames))
+    assert frames == 11
+    assert (system.flexray is not None) is True
+    assert (system.chain is not None) is True
+    assert len(system.faults) == 0
+
+
+def test_REQ_GATEWAY_MULTIBUS_005_verify_sound():
+    """REQ-GATEWAY-MULTIBUS-005 [osek, com, network] — every analytic bound holds against the simulated
+    observation: 0 soundness violations, 0 trace-invariant
+    violations, no declined layer."""
+    from repro.model.build import verify_models
+    report = verify_models([_model()])
+    assert report.soundness_violations == 0
+    assert report.invariant_violations == 0
+    assert report.passed
+    assert all(not v.declined for v in report.verdicts)
+
+
+def test_REQ_GATEWAY_MULTIBUS_006_trace_invariants_hold():
+    """REQ-GATEWAY-MULTIBUS-006 [osek, network] — replaying the nominal simulation trace through every
+    pluggable invariant (CPU overlap, TDMA windows, priority
+    ceiling, alive counter, E2E containment) yields zero
+    violations."""
+    from repro.verify import (InvariantChecker, build_system,
+                              make_invariants)
+    system = _model().build()
+    built = build_system(system)
+    built.sim.run_until(built.horizon)
+    checker = InvariantChecker(make_invariants(system))
+    assert checker.run(built.trace) == []
+
+
+def test_REQ_GATEWAY_MULTIBUS_007_resilience_verdicts():
+    """REQ-GATEWAY-MULTIBUS-007 [resilience] — all 8 fault scenario(s) (the standard fault matrix) are
+    detected within the analytic bound, contained, and
+    recovered: 0 unmet obligations."""
+    from repro.model.build import resilience_models
+    report = resilience_models([_model()])
+    assert report.unmet == 0
+    assert report.passed
+    scenarios = sum(len(row['verdicts'])
+                    for row in report.rows)
+    assert scenarios == 8
+
+
+def test_REQ_GATEWAY_MULTIBUS_008_daq_measurement_digest_stable():
+    """REQ-GATEWAY-MULTIBUS-008 [meas] — sampling the default DAQ list (period 1000000 ns, horizon
+    20000000 ns of simulated time) reproduces the
+    generation-time measurement digest byte-for-byte."""
+    from repro.meas.batch import measure_models
+    report = measure_models([_model()], period=1000000,
+                            horizon=20000000)
+    assert report.sample_count == 483
+    assert report.digest() == \
+        "763cffc2db259de8e5e5767064595cc9d9be1305a3eb31d24a2b5d04cc92f7bd"

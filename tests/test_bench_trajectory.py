@@ -1,0 +1,175 @@
+"""The bench-trajectory aggregator and its committed aggregate.
+
+``benchmarks/trajectory.py`` normalises every ``BENCH_*.json`` at the
+repo root into one flat, plottable ``BENCH_trajectory.json``.  Pinned
+here: the flattener's numeric-leaf semantics, the schema validator's
+readable problem rows, byte-determinism, the committed aggregate being
+in sync with its sources (the same regenerate-on-change contract the
+generated test suite lives under), and readable errors for malformed
+inputs.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trajectory",
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "benchmarks", "trajectory.py"))
+trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trajectory)
+
+
+def write_bench(root, name, doc):
+    path = os.path.join(root, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+    return path
+
+
+@pytest.fixture
+def bench_root(tmp_path):
+    write_bench(tmp_path, "alpha", {
+        "bench": "alpha", "quick": False,
+        "gates": {"enforced": True, "floor": 2.0, "ok": True},
+        "timing": {"events_per_s": 1000.5, "events": 90,
+                   "label": "warm", "nested": {"deep": 3}},
+    })
+    write_bench(tmp_path, "beta", {
+        "bench": "beta", "quick": True,
+        "speedup": 4.5,
+    })
+    return str(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# flattening + building
+# ----------------------------------------------------------------------
+def test_flatten_keeps_numeric_leaves_only():
+    flat = trajectory.flatten_numeric({
+        "a": {"b": 1, "c": 2.5, "ok": True, "name": "x"},
+        "d": 3, "e": {"f": {"g": 4}}})
+    assert flat == {"a.b": 1, "a.c": 2.5, "d": 3, "e.f.g": 4}
+
+
+def test_build_trajectory_shape(bench_root):
+    doc = trajectory.build_trajectory(bench_root)
+    assert doc["format"] == trajectory.TRAJECTORY_FORMAT
+    assert doc["benchmarks"] == 2
+    alpha, beta = doc["entries"]
+    assert [alpha["bench"], beta["bench"]] == ["alpha", "beta"]
+    assert alpha["gates"] == {"enforced": True, "floor": 2.0,
+                              "ok": True}
+    assert alpha["metrics"] == {"timing.events_per_s": 1000.5,
+                                "timing.events": 90,
+                                "timing.nested.deep": 3}
+    assert beta["quick"] is True and beta["gates"] == {}
+    assert len(alpha["sha256"]) == 64
+    assert trajectory.validate_trajectory(doc) == []
+
+
+def test_build_is_byte_deterministic(bench_root):
+    first = trajectory.trajectory_json(
+        trajectory.build_trajectory(bench_root))
+    second = trajectory.trajectory_json(
+        trajectory.build_trajectory(bench_root))
+    assert first == second
+
+
+def test_malformed_source_is_a_readable_error(bench_root):
+    bad = os.path.join(bench_root, "BENCH_broken.json")
+    with open(bad, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    with pytest.raises(ValueError) as excinfo:
+        trajectory.build_trajectory(bench_root)
+    assert "not valid JSON" in str(excinfo.value)
+
+
+def test_source_without_bench_name_is_rejected(bench_root):
+    write_bench(bench_root, "anon", {"speedup": 2.0})
+    with pytest.raises(ValueError) as excinfo:
+        trajectory.build_trajectory(bench_root)
+    assert "missing its 'bench' name" in str(excinfo.value)
+
+
+def test_duplicate_bench_names_are_rejected(bench_root):
+    write_bench(bench_root, "alpha2", {"bench": "alpha", "x": 1})
+    with pytest.raises(ValueError) as excinfo:
+        trajectory.build_trajectory(bench_root)
+    assert "duplicate bench names" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+def test_validator_reports_each_problem(bench_root):
+    doc = trajectory.build_trajectory(bench_root)
+    doc["format_version"] = 99
+    doc["benchmarks"] = 7
+    doc["entries"][0]["sha256"] = "short"
+    doc["entries"][1]["metrics"]["speedup"] = "fast"
+    problems = trajectory.validate_trajectory(doc)
+    assert any("format_version" in p for p in problems)
+    assert any("benchmarks: says 7" in p for p in problems)
+    assert any("sha256 must be 64 hex chars" in p for p in problems)
+    assert any("metric 'speedup' is not numeric" in p
+               for p in problems)
+
+
+def test_validator_rejects_unsorted_entries(bench_root):
+    doc = trajectory.build_trajectory(bench_root)
+    doc["entries"].reverse()
+    assert any("not sorted" in p
+               for p in trajectory.validate_trajectory(doc))
+
+
+# ----------------------------------------------------------------------
+# the committed aggregate
+# ----------------------------------------------------------------------
+def test_committed_trajectory_is_in_sync():
+    """BENCH_trajectory.json must match a rebuild from the committed
+    BENCH_*.json files — the tier-1 mirror of `--check`."""
+    rebuilt = trajectory.trajectory_json(
+        trajectory.build_trajectory(trajectory.REPO_ROOT))
+    path = os.path.join(trajectory.REPO_ROOT, trajectory.OUTPUT_NAME)
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == rebuilt
+    doc = json.loads(rebuilt)
+    assert trajectory.validate_trajectory(doc) == []
+    assert {e["bench"] for e in doc["entries"]} >= {"e17_perf",
+                                                    "e19_meas"}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_write_then_check_round_trip(bench_root, capsys):
+    assert trajectory.main(["--root", bench_root]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert trajectory.main(["--root", bench_root, "--check"]) == 0
+    assert "IN SYNC" in capsys.readouterr().out
+
+
+def test_cli_check_fails_on_drift(bench_root, capsys):
+    assert trajectory.main(["--root", bench_root]) == 0
+    capsys.readouterr()
+    write_bench(bench_root, "alpha", {"bench": "alpha",
+                                      "speedup": 9.9})
+    assert trajectory.main(["--root", bench_root, "--check"]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+
+def test_cli_check_missing_aggregate_fails(bench_root, capsys):
+    assert trajectory.main(["--root", bench_root, "--check"]) == 1
+    assert "missing" in capsys.readouterr().err
+
+
+def test_cli_malformed_source_exits_2(bench_root, capsys):
+    with open(os.path.join(bench_root, "BENCH_bad.json"), "w",
+              encoding="utf-8") as handle:
+        handle.write("[1, 2")
+    assert trajectory.main(["--root", bench_root]) == 2
+    assert "not valid JSON" in capsys.readouterr().err

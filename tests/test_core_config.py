@@ -208,3 +208,99 @@ def test_configuration_set_pickles_without_its_lock():
     assert clone.get("can_baudrate") == 250_000
     with pytest.raises(ConfigurationError):
         clone.set("os_tick", 1)  # freeze survives the round trip
+
+
+def _even(value) -> bool:
+    """Module-level validator: lambdas don't survive the pickle
+    round-trip the stress test takes mid-storm."""
+    return value % 2 == 0
+
+
+def test_concurrent_read_write_pickle_stress():
+    """Sustained hammer: writers (valid and validator-rejected values),
+    readers (get + snapshot) and picklers (dumps + loads + use) all run
+    against one live set at once, with a link() transition mid-flight.
+
+    Invariants: no deadlock, every observed value satisfies the
+    validator (a rejected or refused write never half-lands), every
+    pickle taken mid-storm deserializes to a usable set, and the set
+    still works after the storm.
+    """
+    import pickle
+    import threading
+
+    cfg = ConfigurationSet("StressConfig")
+    cfg.declare("gain", 0, POST_BUILD, validator=_even)
+    cfg.declare("map_variant", "A", POST_BUILD)
+    cfg.declare("task_stack", 2048, LINK_TIME)
+    cfg.compile()  # post-build writable, link-time still editable
+
+    iterations = 300
+    start = threading.Barrier(10)
+    errors: list = []
+
+    def writer(base):
+        start.wait()
+        for i in range(iterations):
+            value = base + i
+            try:
+                cfg.set("gain", value)
+            except ConfigurationError:
+                if value % 2 == 0:
+                    errors.append(("even value rejected", value))
+            try:
+                cfg.set("task_stack", 4096 + value)
+            except ConfigurationError:
+                pass  # refused once link() lands — that is the contract
+
+    def reader():
+        start.wait()
+        for __ in range(iterations):
+            if cfg.get("gain") % 2 != 0:
+                errors.append(("odd value observed", cfg.get("gain")))
+            snap = cfg.snapshot()
+            if snap["gain"] % 2 != 0:
+                errors.append(("odd value in snapshot", snap["gain"]))
+
+    def pickler():
+        start.wait()
+        for __ in range(iterations // 10):
+            try:
+                clone = pickle.loads(pickle.dumps(cfg))
+                if clone.get("gain") % 2 != 0:
+                    errors.append(("odd value in pickle",
+                                   clone.get("gain")))
+                clone.set("gain", 2_000_000)  # fresh lock must work
+                if clone.stage not in ("compiled", "linked"):
+                    errors.append(("bad stage in pickle", clone.stage))
+            except Exception as exc:  # any failure fails the test
+                errors.append(("pickler raised", repr(exc)))
+
+    def linker():
+        start.wait()
+        try:
+            cfg.link()
+        except ConfigurationError:
+            pass
+
+    threads = ([threading.Thread(target=writer, args=(b,))
+                for b in (0, 1000, 2000, 3000)]
+               + [threading.Thread(target=reader) for __ in range(3)]
+               + [threading.Thread(target=pickler) for __ in range(2)]
+               + [threading.Thread(target=linker)])
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "stress run deadlocked"
+    assert not errors, errors[:5]
+
+    # The set survives the storm: post-build still writable, the
+    # mid-storm link() froze task_stack, the validator still bites.
+    assert cfg.stage == "linked"
+    cfg.set("gain", 42)
+    assert cfg.get("gain") == 42
+    with pytest.raises(ConfigurationError):
+        cfg.set("gain", 43)
+    with pytest.raises(ConfigurationError):
+        cfg.set("task_stack", 1)

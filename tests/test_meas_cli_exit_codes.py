@@ -1,0 +1,159 @@
+"""Exit-code and digest-preservation contracts of the measurement CLIs.
+
+``repro meas`` follows the ``repro model`` convention — 0 ok, 1 a
+readable-but-invalid document or failed operation, 2 an unreadable
+input — and this file pins every branch: registry/daq over a missing
+file (2), over an invalid model document (1), and the ``mtf``
+subcommand over damaged stores (2, with the reader's message, no
+traceback).
+
+It also pins what EXPERIMENTS calls digest preservation at the CLI
+level: attaching the DAQ plane to ``repro campaign`` (``--daq``,
+``--mtf-out``) must not change the campaign's own report digest —
+measurement is an observer, not a participant.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.meas.cli import meas_command
+from repro.meas.mtf import MtfReader, MtfWriter
+from repro.model.cli import EXIT_INVALID, EXIT_OK, EXIT_UNREADABLE
+
+
+@pytest.fixture
+def invalid_doc(tmp_path):
+    """Readable JSON, recognizably a model document, but invalid."""
+    path = tmp_path / "invalid.json"
+    path.write_text(json.dumps({"format": "repro.model",
+                                "format_version": 1}))
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# repro meas registry / daq
+# ----------------------------------------------------------------------
+def test_registry_ok_prints_table_and_digest(capsys):
+    assert meas_command(["registry", "adas-fusion"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "registry digest" in out
+    assert "calib.chain.timeout" in out
+
+
+def test_registry_missing_file_exits_2(capsys):
+    assert meas_command(["registry",
+                         "/no/such/model.json"]) == EXIT_UNREADABLE
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_registry_invalid_document_exits_1(invalid_doc, capsys):
+    assert meas_command(["registry", invalid_doc]) == EXIT_INVALID
+    assert "invalid model document" in capsys.readouterr().err
+
+
+def test_daq_missing_file_exits_2(capsys):
+    assert meas_command(["daq",
+                         "/no/such/model.json"]) == EXIT_UNREADABLE
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_daq_invalid_document_exits_1(invalid_doc, capsys):
+    assert meas_command(["daq", invalid_doc]) == EXIT_INVALID
+    assert "invalid model document" in capsys.readouterr().err
+
+
+def test_daq_ok_prints_digest_and_writes_mtf(tmp_path, capsys):
+    path = str(tmp_path / "daq.mtf")
+    assert meas_command(["daq", "adas-fusion", "--horizon-ms", "5",
+                         "--mtf-out", path]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "measurement digest: sha256:" in out
+    assert f"wrote {path}" in out
+    with MtfReader(path) as reader:
+        assert reader.records > 0
+
+
+# ----------------------------------------------------------------------
+# repro meas mtf over damaged stores
+# ----------------------------------------------------------------------
+def test_mtf_missing_file_exits_2(capsys):
+    assert meas_command(["mtf", "/no/such.mtf"]) == EXIT_UNREADABLE
+    assert "not an MTF file" in capsys.readouterr().err
+
+
+def test_mtf_foreign_file_exits_2(tmp_path, capsys):
+    path = tmp_path / "notes.txt"
+    path.write_text("not a trace store")
+    assert meas_command(["mtf", str(path)]) == EXIT_UNREADABLE
+    assert "not an MTF file" in capsys.readouterr().err
+
+
+def test_mtf_truncated_store_exits_2_with_message(tmp_path, capsys):
+    """Right magic, chopped body: the reader's readable diagnosis must
+    reach stderr as an exit-2 failure — not a traceback."""
+    whole = str(tmp_path / "whole.mtf")
+    with MtfWriter(whole) as writer:
+        writer.write_batch([(t, "cat", "s", {"v": t})
+                            for t in range(50)])
+    with open(whole, "rb") as handle:
+        blob = handle.read()
+    chopped = tmp_path / "chopped.mtf"
+    chopped.write_bytes(blob[:len(blob) // 2])
+    assert meas_command(["mtf", str(chopped)]) == EXIT_UNREADABLE
+    err = capsys.readouterr().err
+    assert "truncated" in err or "corrupt" in err
+
+
+def test_mtf_corrupt_block_read_exits_2(tmp_path, capsys):
+    path = str(tmp_path / "t.mtf")
+    with MtfWriter(path) as writer:
+        writer.write_batch([(t, "cat", "s", {"v": t})
+                            for t in range(50)])
+    with MtfReader(path) as reader:
+        offset = reader._blocks["cat:s"][0]["values_offset"]
+    with open(path, "r+b") as handle:
+        handle.seek(offset + 1)
+        handle.write(b"\x00\xff")
+    assert meas_command(["mtf", path,
+                         "--signal", "cat:s"]) == EXIT_UNREADABLE
+    assert "corrupt MTF block" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# campaign --daq / --mtf-out: measurement is an observer
+# ----------------------------------------------------------------------
+def _report_digest(out: str) -> str:
+    (line,) = [l for l in out.splitlines()
+               if l.startswith("report digest:")]
+    return line.split("sha256:")[1]
+
+
+def test_campaign_report_digest_unchanged_by_daq(tmp_path, capsys):
+    """The campaign's report digest with --daq (and --mtf-out) attached
+    is byte-identical to the plain run, the measurement digest is
+    printed, and the MTF store holds every emitted sample."""
+    assert main(["repro", "campaign", "--smoke"]) == 0
+    plain = capsys.readouterr().out
+
+    path = str(tmp_path / "campaign.mtf")
+    assert main(["repro", "campaign", "--smoke", "--daq",
+                 "--mtf-out", path]) == 0
+    with_daq = capsys.readouterr().out
+
+    assert _report_digest(plain) == _report_digest(with_daq)
+    assert "measurement digest: sha256:" in with_daq
+    (samples_line,) = [l for l in with_daq.splitlines()
+                       if l.startswith("daq samples:")]
+    samples = int(samples_line.split(":")[1])
+    assert samples > 0
+    with MtfReader(path) as reader:
+        assert reader.records == samples
+
+
+def test_campaign_mtf_out_requires_daq(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["repro", "campaign", "--smoke", "--mtf-out", "x.mtf"])
+    assert excinfo.value.code == 2
+    assert "--mtf-out requires --daq" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""Negative paths for the MTF store: every way a file on disk can be
+damaged must surface as a readable :class:`ConfigurationError` naming
+the file and the failure — never a raw traceback from ``struct``,
+``json`` or ``array``.
+
+Damage classes covered: truncation before the trailer (unclosed
+writer, chopped transfer), a foreign or mangled header, a trailer
+pointing outside the file, a corrupt directory (unparseable JSON or
+missing keys), directory entries pointing past the data region, and
+mid-file block damage — both in the JSON values region and in the
+packed int64 timestamp region, where only the per-block CRC can tell.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.meas.mtf import (_HEADER, _TRAILER, MAGIC, TRAILER_MAGIC,
+                            VERSION, MtfReader, MtfWriter)
+
+
+def write_sample(path, per_signal=100, chunk_records=32) -> str:
+    with MtfWriter(str(path), chunk_records=chunk_records) as writer:
+        for t in range(per_signal):
+            writer.write_batch([(t * 10, "cat", "s0", {"v": t})])
+    return str(path)
+
+
+def damage(path: str, offset: int, payload: bytes) -> None:
+    """Overwrite ``len(payload)`` bytes in place at ``offset``."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(payload)
+
+
+def _open_fails(path: str, *needles: str) -> None:
+    with pytest.raises(ConfigurationError) as excinfo:
+        MtfReader(path)
+    message = str(excinfo.value)
+    assert path in message
+    for needle in needles:
+        assert needle in message, message
+
+
+# ----------------------------------------------------------------------
+# truncation and header damage
+# ----------------------------------------------------------------------
+def test_empty_file_is_not_an_mtf_file(tmp_path):
+    path = tmp_path / "empty.mtf"
+    path.write_bytes(b"")
+    _open_fails(str(path), "not an MTF file")
+
+
+def test_header_only_file_reports_truncation(tmp_path):
+    """An unclosed writer leaves just the header: the reader must say
+    'truncated', not die seeking backwards past the file start."""
+    path = tmp_path / "header.mtf"
+    path.write_bytes(_HEADER.pack(MAGIC, VERSION))
+    _open_fails(str(path), "truncated", "trailer")
+
+
+def test_file_chopped_before_trailer_reports_truncation(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    chopped = tmp_path / "chopped.mtf"
+    chopped.write_bytes(blob[:-_TRAILER.size])
+    _open_fails(str(chopped), "truncated")
+
+
+def test_bad_magic_is_rejected(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    damage(path, 0, b"ELF\x7f")
+    _open_fails(path, "not an MTF file")
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    damage(path, 0, _HEADER.pack(MAGIC, 99))
+    _open_fails(path, "unsupported MTF version 99")
+
+
+# ----------------------------------------------------------------------
+# trailer and directory damage
+# ----------------------------------------------------------------------
+def _trailer_offset(path: str) -> int:
+    with open(path, "rb") as handle:
+        return handle.seek(0, 2) - _TRAILER.size
+
+
+def test_trailer_pointing_outside_file_is_rejected(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    damage(path, _trailer_offset(path),
+           _TRAILER.pack(2 ** 40, 128, TRAILER_MAGIC))
+    _open_fails(path, "corrupt MTF trailer", "outside the file")
+
+
+def test_corrupt_directory_json_is_rejected(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    with open(path, "rb") as handle:
+        handle.seek(_trailer_offset(path))
+        dir_offset, __, __ = _TRAILER.unpack(handle.read(_TRAILER.size))
+    damage(path, dir_offset, b"\xff\xfe{{{{")
+    _open_fails(path, "corrupt MTF directory")
+
+
+def test_directory_missing_keys_is_rejected(tmp_path):
+    """A directory that parses as JSON but lacks the block index is
+    still a corrupt directory, not a KeyError traceback."""
+    path = str(tmp_path / "t.mtf")
+    body = json.dumps({"version": VERSION}).encode()
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION))
+        handle.write(body)
+        handle.write(_TRAILER.pack(_HEADER.size, len(body),
+                                   TRAILER_MAGIC))
+    _open_fails(path, "corrupt MTF directory")
+
+
+def test_block_entry_past_data_region_is_rejected(tmp_path):
+    path = str(tmp_path / "t.mtf")
+    body = json.dumps({
+        "records": 1,
+        "blocks": [{"signal": "cat:s0", "count": 1, "t_min": 0,
+                    "t_max": 0, "times_offset": _HEADER.size,
+                    "times_length": 8, "values_offset": 2 ** 30,
+                    "values_length": 8}],
+    }).encode()
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION))
+        handle.write(b"\x00" * 16)
+        handle.write(body)
+        handle.write(_TRAILER.pack(_HEADER.size + 16, len(body),
+                                   TRAILER_MAGIC))
+    _open_fails(path, "corrupt MTF directory", "past the data region")
+
+
+# ----------------------------------------------------------------------
+# mid-file block damage (directory intact, data bytes flipped)
+# ----------------------------------------------------------------------
+def _first_block(path: str) -> dict:
+    with MtfReader(path) as reader:
+        return reader._blocks["cat:s0"][0]
+
+
+def test_damaged_values_region_reports_corrupt_block(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    block = _first_block(path)
+    damage(path, block["values_offset"] + 2, b"\x00\xff\x00")
+    with MtfReader(path) as reader:
+        with pytest.raises(ConfigurationError) as excinfo:
+            reader.read("cat:s0")
+        assert "corrupt MTF block" in str(excinfo.value)
+        assert "cat:s0" in str(excinfo.value)
+
+
+def test_damaged_timestamp_region_reports_corrupt_block(tmp_path):
+    """Packed int64 timestamps have no syntax: any byte pattern parses.
+    Only the per-block CRC catches a flipped time — the reader must
+    refuse rather than silently return wrong samples."""
+    path = write_sample(tmp_path / "t.mtf")
+    block = _first_block(path)
+    damage(path, block["times_offset"] + 3, b"\x5a")
+    with MtfReader(path) as reader:
+        with pytest.raises(ConfigurationError) as excinfo:
+            reader.read("cat:s0")
+        assert "fails its checksum" in str(excinfo.value)
+
+
+def test_pre_checksum_files_still_readable(tmp_path):
+    """Directories written before the CRC field existed must keep
+    working: the checksum is verified only when present."""
+    path = write_sample(tmp_path / "t.mtf")
+    with open(path, "rb") as handle:
+        size = handle.seek(0, 2) - _TRAILER.size
+        handle.seek(size)
+        dir_offset, dir_length, __ = _TRAILER.unpack(
+            handle.read(_TRAILER.size))
+        handle.seek(0)
+        blob = bytearray(handle.read())
+    directory = json.loads(bytes(blob[dir_offset:dir_offset +
+                                      dir_length]))
+    for block in directory["blocks"]:
+        del block["crc"]
+    body = json.dumps(directory, sort_keys=True,
+                      separators=(",", ":")).encode()
+    legacy = str(tmp_path / "legacy.mtf")
+    with open(legacy, "wb") as handle:
+        handle.write(bytes(blob[:dir_offset]))
+        handle.write(body)
+        handle.write(_TRAILER.pack(dir_offset, len(body),
+                                   TRAILER_MAGIC))
+    with MtfReader(legacy) as reader:
+        rows = reader.read("cat:s0")
+        assert len(rows) == 100
+
+
+def test_undamaged_file_round_trips_with_checksums(tmp_path):
+    path = write_sample(tmp_path / "t.mtf")
+    with MtfReader(path) as reader:
+        assert all("crc" in b
+                   for blocks in reader._blocks.values()
+                   for b in blocks)
+        assert len(reader.read("cat:s0")) == 100
